@@ -1,0 +1,143 @@
+package repro
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+// The benchmarks share one suite (building it is ingest, not query work).
+var (
+	suiteOnce sync.Once
+	suite     *bench.Suite
+	suiteErr  error
+)
+
+func sharedSuite(b *testing.B) *bench.Suite {
+	b.Helper()
+	suiteOnce.Do(func() {
+		suite, suiteErr = bench.NewSuite(bench.QuickConfig())
+	})
+	if suiteErr != nil {
+		b.Fatal(suiteErr)
+	}
+	return suite
+}
+
+// BenchmarkTable1 regenerates the paper's Table 1 grid: all five join tests
+// under FR and FPR with every accelerator.
+func BenchmarkTable1(b *testing.B) {
+	s := sharedSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Table1(io.Discard, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1_Cell benchmarks single Table 1 cells, one sub-benchmark
+// per test × paradigm on the brute-force column.
+func BenchmarkTable1_Cell(b *testing.B) {
+	s := sharedSuite(b)
+	for _, test := range bench.AllTests {
+		for _, paradigm := range []core.Paradigm{core.FR, core.FPR} {
+			b.Run(test.String()+"/"+paradigm.String(), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := s.RunCell(test, paradigm, core.BruteForce); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2: decode time with and without the
+// LRU decode cache.
+func BenchmarkTable2(b *testing.B) {
+	s := sharedSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Table2(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9 regenerates Fig. 9: compressed bytes per LOD.
+func BenchmarkFig9(b *testing.B) {
+	s := sharedSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Fig9(io.Discard)
+	}
+}
+
+// BenchmarkFig10 regenerates Fig. 10: the filter/decode/geometry breakdown
+// of a representative cell (WN-NN under both paradigms, brute force).
+func BenchmarkFig10(b *testing.B) {
+	s := sharedSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var cells []bench.Cell
+		for _, p := range []core.Paradigm{core.FR, core.FPR} {
+			c, err := s.RunCell(bench.WNNN, p, core.BruteForce)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cells = append(cells, c)
+		}
+		bench.Fig10(io.Discard, cells)
+	}
+}
+
+// BenchmarkFig11 regenerates Fig. 11: remaining faces per decimation round.
+func BenchmarkFig11(b *testing.B) {
+	s := sharedSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig11(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig12 regenerates Fig. 12: pairs evaluated/pruned per LOD and
+// the derived LOD schedules.
+func BenchmarkFig12(b *testing.B) {
+	s := sharedSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig12(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig13 regenerates Fig. 13: the SDBMS baseline versus 3DPro under
+// FR and FPR.
+func BenchmarkFig13(b *testing.B) {
+	s := sharedSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig13(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStats regenerates the §6.2 dataset profile (compression ratio,
+// protruding fractions, compression cost).
+func BenchmarkStats(b *testing.B) {
+	s := sharedSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Stats(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

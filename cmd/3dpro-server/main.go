@@ -1,0 +1,79 @@
+// Command 3dpro-server serves 3DPro spatial queries over HTTP.
+//
+// Datasets come from persisted dataset directories (see `3dpro ingest`) via
+// repeated -dataset flags, or -demo loads a synthetic tissue sample:
+//
+//	3dpro-server -addr :8080 -dataset nuclei=./nuclei-ds -dataset vessels=./vessel-ds
+//	3dpro-server -demo
+//
+// See internal/server for the API.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/server"
+)
+
+type datasetFlags []string
+
+func (d *datasetFlags) String() string     { return strings.Join(*d, ",") }
+func (d *datasetFlags) Set(v string) error { *d = append(*d, v); return nil }
+
+func main() {
+	var datasets datasetFlags
+	addr := flag.String("addr", "127.0.0.1:7333", "listen address")
+	demo := flag.Bool("demo", false, "load a synthetic tissue demo (datasets 'nuclei' and 'vessels')")
+	flag.Var(&datasets, "dataset", "name=dir of a persisted dataset (repeatable)")
+	flag.Parse()
+
+	eng := core.NewEngine(core.EngineOptions{})
+	defer eng.Close()
+	srv := server.New(eng)
+
+	loaded := 0
+	for _, spec := range datasets {
+		name, dir, ok := strings.Cut(spec, "=")
+		if !ok {
+			log.Fatalf("bad -dataset %q, want name=dir", spec)
+		}
+		d, err := eng.LoadDataset(dir)
+		if err != nil {
+			log.Fatalf("loading %s: %v", dir, err)
+		}
+		d.Name = name
+		srv.AddDataset(d)
+		log.Printf("loaded dataset %q: %d objects, %d LODs", name, d.Len(), d.MaxLOD()+1)
+		loaded++
+	}
+	if *demo {
+		nuclei, vessels := datagen.Tissue(datagen.TissueOptions{
+			Nuclei:  datagen.NucleiOptions{Count: 64, Seed: 1},
+			Vessels: datagen.VesselOptions{Count: 4, Seed: 2},
+		})
+		dn, err := eng.BuildDataset("nuclei", nuclei, core.DatasetOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		dv, err := eng.BuildDataset("vessels", vessels, core.DatasetOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv.AddDataset(dn)
+		srv.AddDataset(dv)
+		log.Printf("demo tissue loaded: %d nuclei, %d vessels", dn.Len(), dv.Len())
+		loaded += 2
+	}
+	if loaded == 0 {
+		log.Fatal("no datasets: pass -dataset name=dir or -demo")
+	}
+
+	fmt.Printf("3dpro-server listening on http://%s\n", *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

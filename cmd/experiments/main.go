@@ -1,0 +1,134 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (§6) on the synthetic workloads and prints paper-style rows.
+//
+// Usage:
+//
+//	experiments [-quick] [-exp all|table1|table2|fig9|fig10|fig11|fig12|fig13|stats]
+//	            [-nuclei N] [-vessels N] [-workers N] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		quick   = flag.Bool("quick", false, "use the small smoke workload")
+		exp     = flag.String("exp", "all", "experiment to run: all, table1, table2, fig9, fig10, fig11, fig12, fig13, stats")
+		nuclei  = flag.Int("nuclei", 0, "override nuclei count per dataset")
+		vessels = flag.Int("vessels", 0, "override vessel count")
+		workers = flag.Int("workers", 0, "override query workers")
+		seed    = flag.Int64("seed", 0, "override data seed")
+	)
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	if *quick {
+		cfg = bench.QuickConfig()
+	}
+	if *nuclei > 0 {
+		cfg.NucleiCount = *nuclei
+	}
+	if *vessels > 0 {
+		cfg.VesselCount = *vessels
+	}
+	if *workers > 0 {
+		cfg.Workers = *workers
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	if err := run(cfg, *exp); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg bench.Config, exp string) error {
+	t0 := time.Now()
+	fmt.Printf("building suite (nuclei=%d×4 sets, vessels=%d, seed=%d)...\n",
+		cfg.NucleiCount, cfg.VesselCount, cfg.Seed)
+	s, err := bench.NewSuite(cfg)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	fmt.Printf("suite ready in %v (nucleiA=%d nucleiB=%d nuclei1=%d nuclei2=%d tissue=%d vessels=%d)\n\n",
+		s.BuildTime.Round(time.Millisecond),
+		s.NucleiA.Len(), s.NucleiB.Len(), s.Nuclei1.Len(), s.Nuclei2.Len(),
+		s.NucleiT.Len(), s.Vessels.Len())
+
+	var cells []bench.Cell
+	want := func(name string) bool { return exp == "all" || exp == name }
+
+	if want("stats") {
+		if _, err := s.Stats(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if want("fig9") {
+		s.Fig9(os.Stdout)
+		fmt.Println()
+	}
+	if want("fig11") {
+		if _, err := s.Fig11(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if want("fig12") {
+		if _, err := s.Fig12(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if want("table1") || want("fig10") {
+		cells, err = s.Table1(os.Stdout, nil, nil)
+		if err != nil {
+			return err
+		}
+		bench.SpeedupSummary(os.Stdout, cells)
+		fmt.Println()
+	}
+	if want("fig10") {
+		// Restrict the breakdown to the brute and AABB columns, which is
+		// what the paper's Fig. 10 bars show most clearly.
+		var sel []bench.Cell
+		for _, c := range cells {
+			if c.Accel == core.BruteForce || c.Accel == core.AABB {
+				sel = append(sel, c)
+			}
+		}
+		bench.Fig10(os.Stdout, sel)
+		fmt.Println()
+	}
+	if want("table2") {
+		if _, err := s.Table2(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if want("fig13") {
+		if _, err := s.Fig13(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if exp == "ablations" {
+		if err := s.Ablations(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("total experiment time: %v\n", time.Since(t0).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,121 @@
+package repro
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/geom"
+	"repro/internal/mesh"
+	"repro/internal/ppvp"
+	"repro/internal/sdbms"
+)
+
+// TestEndToEndPipeline drives the whole system the way a user would:
+// generate → compress → persist → reload → query under both paradigms and
+// all accelerators → cross-check against the SDBMS baseline.
+func TestEndToEndPipeline(t *testing.T) {
+	space := geom.Box3{Min: geom.V(0, 0, 0), Max: geom.V(80, 80, 80)}
+	nuclei, vessels := datagen.Tissue(datagen.TissueOptions{
+		Nuclei:  datagen.NucleiOptions{Count: 16, SubdivisionLevel: 1, Space: space, Seed: 99},
+		Vessels: datagen.VesselOptions{Count: 2, Space: space, Seed: 100, RingSegments: 8, PathPoints: 8},
+	})
+	if len(nuclei) == 0 || len(vessels) == 0 {
+		t.Fatal("tissue generation failed")
+	}
+
+	eng := core.NewEngine(core.EngineOptions{Workers: 2})
+	defer eng.Close()
+
+	comp := ppvp.DefaultOptions()
+	comp.Rounds = 6
+	dopts := core.DatasetOptions{Compression: comp, Cuboids: 8}
+
+	dn, err := eng.BuildDataset("nuclei", nuclei, dopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dv, err := eng.BuildDataset("vessels", vessels, dopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Persist and reload the vessels; queries must be identical.
+	dir := t.TempDir()
+	if err := dv.SaveDataset(dir); err != nil {
+		t.Fatal(err)
+	}
+	dvLoaded, err := eng.LoadDataset(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// NN join under every configuration and against the reloaded dataset.
+	var ref []core.Neighbor
+	for _, src := range []*core.Dataset{dv, dvLoaded} {
+		for _, paradigm := range []core.Paradigm{core.FR, core.FPR} {
+			for _, accel := range []core.Accel{core.BruteForce, core.AABB, core.Partition} {
+				ns, _, err := eng.NNJoin(context.Background(), dn, src, core.QueryOptions{Paradigm: paradigm, Accel: accel})
+				if err != nil {
+					t.Fatalf("%v/%v: %v", paradigm, accel, err)
+				}
+				if ref == nil {
+					ref = ns
+					continue
+				}
+				if len(ns) != len(ref) {
+					t.Fatalf("%v/%v: %d results, want %d", paradigm, accel, len(ns), len(ref))
+				}
+				for i := range ns {
+					if ns[i].Target != ref[i].Target || math.Abs(ns[i].Dist-ref[i].Dist) > 1e-9 {
+						t.Fatalf("%v/%v: result %d = %+v, want %+v", paradigm, accel, i, ns[i], ref[i])
+					}
+				}
+			}
+		}
+	}
+
+	// SDBMS baseline agrees on the within join.
+	const dist = 10.0
+	fullN := decodeTop(t, dn)
+	fullV := decodeTop(t, dv)
+	dbN, err := sdbms.New(fullN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbV, err := sdbms.New(fullV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbPairs, _, err := dbV.WithinJoin(dbN, dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, _, err := eng.WithinJoin(context.Background(), dn, dv, dist, core.QueryOptions{Paradigm: core.FPR, Accel: core.AABB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != len(dbPairs) {
+		t.Fatalf("3DPro found %d within pairs, SDBMS %d", len(pairs), len(dbPairs))
+	}
+	for i := range pairs {
+		if pairs[i].Target != dbPairs[i].Target || pairs[i].Source != dbPairs[i].Source {
+			t.Fatalf("pair %d: %v vs %v", i, pairs[i], dbPairs[i])
+		}
+	}
+}
+
+func decodeTop(t *testing.T, d *core.Dataset) []*mesh.Mesh {
+	t.Helper()
+	out := make([]*mesh.Mesh, d.Len())
+	for i := range out {
+		m, err := d.Tileset.Object(int64(i)).Comp.Decode(d.MaxLOD())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = m
+	}
+	return out
+}

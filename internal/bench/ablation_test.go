@@ -1,0 +1,95 @@
+package bench
+
+import "testing"
+
+func TestAblationQuantBits(t *testing.T) {
+	s := testSuite(t)
+	rows, err := s.AblationQuantBits(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Bits <= rows[i-1].Bits {
+			t.Fatal("bits not increasing")
+		}
+		// More bits → finer grid → smaller max snap.
+		if rows[i].HausdorffU >= rows[i-1].HausdorffU {
+			t.Errorf("snap bound not shrinking: %v", rows)
+		}
+	}
+	// The coarsest setting must be measurably lossier than the finest.
+	if rows[0].VolumeErr <= rows[len(rows)-1].VolumeErr {
+		t.Logf("note: volume error not monotone (%v); acceptable for a single mesh", rows)
+	}
+	for _, r := range rows {
+		if r.Bytes <= 0 {
+			t.Errorf("bits=%d: no size", r.Bits)
+		}
+	}
+}
+
+func TestAblationRoundsPerLOD(t *testing.T) {
+	s := testSuite(t)
+	rows, err := s.AblationRoundsPerLOD(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// More rounds per LOD → fewer LODs.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].NumLODs > rows[i-1].NumLODs {
+			t.Errorf("LOD count not decreasing: %+v", rows)
+		}
+	}
+	for _, r := range rows {
+		if r.Latency <= 0 || len(r.Schedule) == 0 {
+			t.Errorf("row %+v incomplete", r)
+		}
+	}
+}
+
+func TestAblationPartitionGranularity(t *testing.T) {
+	s := testSuite(t)
+	rows, err := s.AblationPartitionGranularity(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Groups > rows[i-1].Groups {
+			t.Errorf("groups not decreasing with coarser target: %+v", rows)
+		}
+	}
+}
+
+func TestAblationCacheBudget(t *testing.T) {
+	s := testSuite(t)
+	rows, err := s.AblationCacheBudget(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The disabled cache must never record hits; the largest budget must.
+	if rows[0].Hits != 0 {
+		t.Errorf("disabled cache recorded %d hits", rows[0].Hits)
+	}
+	if rows[len(rows)-1].Hits == 0 {
+		t.Error("large cache recorded no hits")
+	}
+	// Decode time with a large cache must not exceed the uncached time by
+	// more than scheduling noise (the decode *counts* behind it differ by
+	// construction whenever hits > 0).
+	if rows[len(rows)-1].DecodeTime > rows[0].DecodeTime*2 {
+		t.Errorf("large cache decode %v far above uncached %v",
+			rows[len(rows)-1].DecodeTime, rows[0].DecodeTime)
+	}
+}

@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"context"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mesh"
+	"repro/internal/sdbms"
+	"repro/internal/storage"
+)
+
+// Fig13Row is one group of the paper's Fig. 13: the latency of one query on
+// the SDBMS baseline versus 3DPro with the FR and FPR paradigms.
+type Fig13Row struct {
+	Test   TestID
+	SDBMS  time.Duration
+	FR     time.Duration
+	FPR    time.Duration
+	SDBMSN int // result count parity checks
+	FRN    int
+	FPRN   int
+}
+
+// Fig13 compares the PostGIS-like baseline with 3DPro under both paradigms
+// on a single-cuboid sample, single-threaded and brute-force — the paper's
+// §6.6 fairness setup. The NN buffer radius for the baseline is derived
+// from 3DPro's own answers, exactly as the paper does.
+func (s *Suite) Fig13(w io.Writer) ([]Fig13Row, error) {
+	fprintf(w, "Fig 13: SDBMS baseline vs 3DPro FR vs FPR (single cuboid, 1 thread, brute force)\n")
+	tests := []TestID{INTNN, WNNN, WNNV, NNNN, NNNV}
+	var rows []Fig13Row
+	for _, test := range tests {
+		target, source := s.datasets(test)
+		sample := target.SampleCuboid()
+
+		// The SDBMS stores only the sampled targets and the full source.
+		tgtMeshes, err := decodeDataset(sample, true)
+		if err != nil {
+			return nil, err
+		}
+		srcMeshes, err := decodeDataset(source, false)
+		if err != nil {
+			return nil, err
+		}
+		tgtDB, err := sdbms.New(tgtMeshes)
+		if err != nil {
+			return nil, err
+		}
+		srcDB, err := sdbms.New(srcMeshes)
+		if err != nil {
+			return nil, err
+		}
+
+		q := core.QueryOptions{Accel: core.BruteForce, Workers: 1}
+		row := Fig13Row{Test: test}
+		switch test.Kind() {
+		case core.IntersectKind:
+			pairs, st, err := s.Engine.IntersectJoin(context.Background(), sample, source, withParadigm(q, core.FR))
+			if err != nil {
+				return nil, err
+			}
+			row.FR, row.FRN = st.Elapsed, len(pairs)
+			pairs, st, err = s.Engine.IntersectJoin(context.Background(), sample, source, withParadigm(q, core.FPR))
+			if err != nil {
+				return nil, err
+			}
+			row.FPR, row.FPRN = st.Elapsed, len(pairs)
+			dbPairs, dbSt, err := srcDB.IntersectJoin(tgtDB)
+			if err != nil {
+				return nil, err
+			}
+			row.SDBMS, row.SDBMSN = dbSt.Elapsed, len(dbPairs)
+		case core.WithinKind:
+			pairs, st, err := s.Engine.WithinJoin(context.Background(), sample, source, s.Cfg.WithinDist, withParadigm(q, core.FR))
+			if err != nil {
+				return nil, err
+			}
+			row.FR, row.FRN = st.Elapsed, len(pairs)
+			pairs, st, err = s.Engine.WithinJoin(context.Background(), sample, source, s.Cfg.WithinDist, withParadigm(q, core.FPR))
+			if err != nil {
+				return nil, err
+			}
+			row.FPR, row.FPRN = st.Elapsed, len(pairs)
+			dbPairs, dbSt, err := srcDB.WithinJoin(tgtDB, s.Cfg.WithinDist)
+			if err != nil {
+				return nil, err
+			}
+			row.SDBMS, row.SDBMSN = dbSt.Elapsed, len(dbPairs)
+		default:
+			ns, st, err := s.Engine.NNJoin(context.Background(), sample, source, withParadigm(q, core.FR))
+			if err != nil {
+				return nil, err
+			}
+			row.FR, row.FRN = st.Elapsed, len(ns)
+			ns2, st2, err := s.Engine.NNJoin(context.Background(), sample, source, withParadigm(q, core.FPR))
+			if err != nil {
+				return nil, err
+			}
+			row.FPR, row.FPRN = st2.Elapsed, len(ns2)
+			// Buffer radius = largest true NN distance (from 3DPro).
+			var radius float64
+			for _, n := range ns {
+				if n.Dist > radius {
+					radius = n.Dist
+				}
+			}
+			dbNs, dbSt, err := srcDB.NNJoin(tgtDB, radius*1.0001+1e-9)
+			if err != nil {
+				return nil, err
+			}
+			row.SDBMS, row.SDBMSN = dbSt.Elapsed, len(dbNs)
+		}
+		rows = append(rows, row)
+		fprintf(w, "  %-8s sdbms=%-12v fr=%-12v fpr=%-12v (results %d/%d/%d; sdbms/fpr=%.1fx)\n",
+			test, row.SDBMS.Round(time.Millisecond), row.FR.Round(time.Millisecond),
+			row.FPR.Round(time.Millisecond), row.SDBMSN, row.FRN, row.FPRN,
+			ratio(row.SDBMS, row.FPR))
+	}
+	return rows, nil
+}
+
+func withParadigm(q core.QueryOptions, p core.Paradigm) core.QueryOptions {
+	q.Paradigm = p
+	return q
+}
+
+// decodeDataset decodes every object of a dataset (or only the sampled
+// cuboid's objects) at the highest LOD, in ID order for the sample.
+func decodeDataset(d *core.Dataset, sampleOnly bool) ([]*mesh.Mesh, error) {
+	var objs []*storage.Object
+	if sampleOnly {
+		for _, tile := range d.Tileset.Tiles {
+			objs = append(objs, tile...)
+		}
+	} else {
+		objs = d.Tileset.Objects
+	}
+	out := make([]*mesh.Mesh, 0, len(objs))
+	for _, o := range objs {
+		m, err := o.Comp.Decode(o.Comp.MaxLOD())
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}

@@ -1,0 +1,187 @@
+// Package cache implements the LRU decoding cache of the paper's §5.3: a
+// byte-budgeted, thread-safe map from (object ID, LOD) to the decoded faces
+// of that object at that LOD. Decoding is compute-intensive, so reusing a
+// recently decoded representation — one vessel can be the candidate of
+// hundreds of nuclei — dominates the decode cost of distance joins
+// (Table 2 of the paper).
+//
+// Concurrent requests for the same key are deduplicated: the first caller
+// decodes while the others wait, matching the paper's decoder/geometry-
+// computer handshake ("sends a request to the object decoder and waits for
+// the data to be decoded").
+package cache
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/mesh"
+)
+
+// Key identifies a decoded representation: one object at one LOD.
+type Key struct {
+	Object int64
+	LOD    int
+}
+
+// Stats reports cache effectiveness counters.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	// BytesUsed is the current estimated footprint of cached meshes.
+	BytesUsed int64
+}
+
+type entry struct {
+	key   Key
+	mesh  *mesh.Mesh
+	bytes int64
+	elem  *list.Element
+
+	ready chan struct{} // closed when mesh is available
+	err   error
+}
+
+// Cache is a byte-budgeted LRU cache of decoded meshes.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	entries  map[Key]*entry
+	lru      *list.List // front = most recent; stores *entry
+	stats    Stats
+}
+
+// New returns a cache with the given capacity in (estimated) bytes. A
+// capacity ≤ 0 disables caching: every GetOrDecode call decodes.
+func New(capacity int64) *Cache {
+	return &Cache{
+		capacity: capacity,
+		entries:  make(map[Key]*entry),
+		lru:      list.New(),
+	}
+}
+
+// meshBytes estimates the memory footprint of a decoded mesh.
+func meshBytes(m *mesh.Mesh) int64 {
+	return int64(len(m.Vertices))*24 + int64(len(m.Faces))*12 + 64
+}
+
+// GetOrDecode returns the cached mesh for key, or runs decode to produce it.
+// Concurrent callers of the same key share a single decode. The returned
+// mesh must be treated as read-only.
+func (c *Cache) GetOrDecode(key Key, decode func() (*mesh.Mesh, error)) (*mesh.Mesh, error) {
+	if c.capacity <= 0 {
+		c.mu.Lock()
+		c.stats.Misses++
+		c.mu.Unlock()
+		return decode()
+	}
+
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		if e.elem != nil {
+			c.lru.MoveToFront(e.elem)
+		}
+		c.stats.Hits++
+		c.mu.Unlock()
+		<-e.ready
+		return e.mesh, e.err
+	}
+	e := &entry{key: key, ready: make(chan struct{})}
+	c.entries[key] = e
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	m, err := decode()
+
+	c.mu.Lock()
+	e.mesh, e.err = m, err
+	close(e.ready)
+	if err != nil {
+		// Do not cache failures.
+		delete(c.entries, key)
+		c.mu.Unlock()
+		return nil, err
+	}
+	e.bytes = meshBytes(m)
+	e.elem = c.lru.PushFront(e)
+	c.used += e.bytes
+	c.evictLocked()
+	c.mu.Unlock()
+	return m, nil
+}
+
+// Get returns the cached mesh if present (nil otherwise) without decoding.
+func (c *Cache) Get(key Key) *mesh.Mesh {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok || e.elem == nil {
+		c.mu.Unlock()
+		return nil
+	}
+	c.lru.MoveToFront(e.elem)
+	c.stats.Hits++
+	c.mu.Unlock()
+	<-e.ready
+	return e.mesh
+}
+
+// evictLocked drops least-recently-used complete entries until the budget
+// holds. In-flight entries (elem == nil) are never evicted.
+func (c *Cache) evictLocked() {
+	for c.used > c.capacity {
+		back := c.lru.Back()
+		if back == nil {
+			return
+		}
+		e := back.Value.(*entry)
+		c.lru.Remove(back)
+		delete(c.entries, e.key)
+		c.used -= e.bytes
+		c.stats.Evictions++
+	}
+}
+
+// InvalidateObject removes every cached LOD of the given object.
+func (c *Cache) InvalidateObject(obj int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, e := range c.entries {
+		if key.Object == obj && e.elem != nil {
+			c.lru.Remove(e.elem)
+			delete(c.entries, key)
+			c.used -= e.bytes
+		}
+	}
+}
+
+// Clear drops all complete entries.
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, e := range c.entries {
+		if e.elem != nil {
+			c.lru.Remove(e.elem)
+			delete(c.entries, key)
+			c.used -= e.bytes
+		}
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.BytesUsed = c.used
+	return s
+}
+
+// Len returns the number of complete cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

@@ -1,0 +1,295 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/geom"
+	"repro/internal/index/aabbtree"
+	"repro/internal/mesh"
+	"repro/internal/partition"
+)
+
+// evalCtx is the per-join geometry computer: it decodes objects through the
+// engine cache, lazily builds the accelerator structures (AABB-trees,
+// partition groups) for decoded representations, and dispatches the
+// pairwise evaluations to the selected accelerator.
+type evalCtx struct {
+	e    *Engine
+	opts QueryOptions
+	col  *collector
+
+	mu     sync.Mutex
+	trees  map[ctxKey]*aabbtree.Tree
+	groups map[ctxKey][]triGroup
+}
+
+type ctxKey struct {
+	seq int64
+	id  int64
+	lod int
+}
+
+// triGroup is one sub-object at one LOD: the decoded faces assigned to a
+// skeleton point, with their box.
+type triGroup struct {
+	tris []geom.Triangle
+	box  geom.Box3
+}
+
+func newEvalCtx(e *Engine, opts QueryOptions, col *collector) *evalCtx {
+	return &evalCtx{
+		e:      e,
+		opts:   opts,
+		col:    col,
+		trees:  make(map[ctxKey]*aabbtree.Tree),
+		groups: make(map[ctxKey][]triGroup),
+	}
+}
+
+// obj identifies one object of one dataset at one LOD, with its decoded
+// mesh attached.
+type obj struct {
+	ds   *Dataset
+	id   int64
+	lod  int
+	mesh *mesh.Mesh
+}
+
+func (c *evalCtx) key(o obj) ctxKey { return ctxKey{seq: o.ds.seq, id: o.id, lod: o.lod} }
+
+// decode fetches the mesh of (ds, id) at lod through the engine cache,
+// accounting decode time and cache hits.
+func (c *evalCtx) decode(ds *Dataset, id int64, lod int) (obj, error) {
+	key := cache.Key{Object: ds.seq<<40 | id, LOD: lod}
+	missed := false
+	m, err := c.e.cache.GetOrDecode(key, func() (*mesh.Mesh, error) {
+		missed = true
+		t0 := time.Now()
+		defer func() { c.col.decodeNs.Add(time.Since(t0).Nanoseconds()) }()
+		c.col.decodes.Add(1)
+		return ds.Tileset.Object(id).Comp.Decode(lod)
+	})
+	if err != nil {
+		return obj{}, err
+	}
+	if !missed {
+		c.col.cacheHits.Add(1)
+	}
+	return obj{ds: ds, id: id, lod: lod, mesh: m}, nil
+}
+
+// tree returns (building if needed) the AABB-tree of an object at a LOD.
+func (c *evalCtx) tree(o obj) *aabbtree.Tree {
+	k := c.key(o)
+	c.mu.Lock()
+	t, ok := c.trees[k]
+	c.mu.Unlock()
+	if ok {
+		return t
+	}
+	t = aabbtree.Build(o.mesh.Triangles())
+	c.mu.Lock()
+	c.trees[k] = t
+	c.mu.Unlock()
+	return t
+}
+
+// groupsOf returns the partition groups of an object at a LOD: decoded
+// faces assigned to the object's ingest-time skeleton points. Objects
+// without a skeleton form a single group.
+func (c *evalCtx) groupsOf(o obj) []triGroup {
+	k := c.key(o)
+	c.mu.Lock()
+	g, ok := c.groups[k]
+	c.mu.Unlock()
+	if ok {
+		return g
+	}
+
+	var skel []geom.Vec3
+	if o.ds.skeletons != nil && o.id >= 0 && o.id < int64(len(o.ds.skeletons)) {
+		skel = o.ds.skeletons[o.id]
+	}
+	var out []triGroup
+	if len(skel) <= 1 {
+		tris := o.mesh.Triangles()
+		out = []triGroup{{tris: tris, box: o.mesh.Bounds()}}
+	} else {
+		pgs := partition.AssignFaces(o.mesh, skel)
+		out = make([]triGroup, 0, len(pgs))
+		for _, pg := range pgs {
+			out = append(out, triGroup{tris: partition.GroupTriangles(o.mesh, pg), box: pg.Box})
+		}
+	}
+	c.mu.Lock()
+	c.groups[k] = out
+	c.mu.Unlock()
+	return out
+}
+
+// intersects reports whether the two decoded objects' surfaces intersect
+// (shared faces touching counts), using the configured accelerator.
+func (c *evalCtx) intersects(a, b obj) bool {
+	t0 := time.Now()
+	defer func() { c.col.geomNs.Add(time.Since(t0).Nanoseconds()) }()
+
+	switch c.opts.Accel {
+	case AABB:
+		return c.tree(a).IntersectsTree(c.tree(b))
+	case GPU:
+		return c.e.dev.Intersects(a.mesh.Triangles(), b.mesh.Triangles())
+	case Partition, PartitionGPU:
+		return c.intersectsPartitioned(a, b)
+	default:
+		return bruteIntersects(a.mesh.Triangles(), b.mesh.Triangles())
+	}
+}
+
+func bruteIntersects(ta, tb []geom.Triangle) bool {
+	for i := range ta {
+		for j := range tb {
+			if geom.TriTriIntersect(ta[i], tb[j]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (c *evalCtx) intersectsPartitioned(a, b obj) bool {
+	ga, gb := c.groupsOf(a), c.groupsOf(b)
+	for i := range ga {
+		for j := range gb {
+			if !ga[i].box.Intersects(gb[j].box) {
+				continue
+			}
+			if c.opts.Accel == PartitionGPU {
+				if c.e.dev.Intersects(ga[i].tris, gb[j].tris) {
+					return true
+				}
+			} else if bruteIntersects(ga[i].tris, gb[j].tris) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// minDist returns the distance between the two decoded objects' surfaces
+// when it is ≤ upper; when the true distance exceeds upper the returned
+// value is still ≥ the true distance is NOT guaranteed — callers must treat
+// any result > upper as "greater than upper" only. Pass math.Inf(1) for an
+// exact distance.
+func (c *evalCtx) minDist(a, b obj, upper float64) float64 {
+	t0 := time.Now()
+	defer func() { c.col.geomNs.Add(time.Since(t0).Nanoseconds()) }()
+
+	switch c.opts.Accel {
+	case AABB:
+		// Dual-tree descent, seeded with the upper bound.
+		d := c.tree(a).DistToTree(c.tree(b))
+		_ = upper
+		return d
+	case GPU:
+		up2 := math.Inf(1)
+		if !math.IsInf(upper, 1) {
+			up2 = upper * upper * nextAfterFactor
+		}
+		d2 := c.e.dev.MinDist2Bounded(a.mesh.Triangles(), b.mesh.Triangles(), up2)
+		return math.Sqrt(d2)
+	case Partition, PartitionGPU:
+		return c.minDistPartitioned(a, b, upper)
+	default:
+		return bruteMinDist(a.mesh.Triangles(), b.mesh.Triangles())
+	}
+}
+
+// nextAfterFactor slightly inflates squared upper bounds so that a true
+// distance exactly equal to the bound is still found.
+const nextAfterFactor = 1 + 1e-12
+
+func bruteMinDist(ta, tb []geom.Triangle) float64 {
+	best := math.Inf(1)
+	for i := range ta {
+		for j := range tb {
+			if d := geom.TriTriDist2(ta[i], tb[j]); d < best {
+				best = d
+			}
+		}
+	}
+	return math.Sqrt(best)
+}
+
+// minDistPartitioned runs branch-and-bound over sub-object group pairs
+// ordered by box distance, evaluating pairs until no remaining pair's box
+// can beat the best distance found.
+func (c *evalCtx) minDistPartitioned(a, b obj, upper float64) float64 {
+	ga, gb := c.groupsOf(a), c.groupsOf(b)
+	type pair struct {
+		i, j int
+		d2   float64
+	}
+	pairs := make([]pair, 0, len(ga)*len(gb))
+	for i := range ga {
+		for j := range gb {
+			pairs = append(pairs, pair{i, j, ga[i].box.MinDist2(gb[j].box)})
+		}
+	}
+	sort.Slice(pairs, func(x, y int) bool { return pairs[x].d2 < pairs[y].d2 })
+
+	best2 := math.Inf(1)
+	if !math.IsInf(upper, 1) {
+		best2 = upper * upper * nextAfterFactor
+	}
+	found := math.Inf(1)
+	for _, p := range pairs {
+		if p.d2 >= best2 || p.d2 >= found {
+			break
+		}
+		var d2 float64
+		if c.opts.Accel == PartitionGPU {
+			d2 = c.e.dev.MinDist2Bounded(ga[p.i].tris, gb[p.j].tris, math.Min(best2, found))
+		} else {
+			d2 = bruteMinDist2(ga[p.i].tris, gb[p.j].tris)
+		}
+		if d2 < found {
+			found = d2
+		}
+	}
+	return math.Sqrt(found)
+}
+
+func bruteMinDist2(ta, tb []geom.Triangle) float64 {
+	best := math.Inf(1)
+	for i := range ta {
+		for j := range tb {
+			if d := geom.TriTriDist2(ta[i], tb[j]); d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// containsObject reports whether outer fully contains inner, given that
+// their surfaces do not intersect: one vertex inside decides (Alg. 1,
+// steps 8–12 of the paper).
+func (c *evalCtx) containsObject(outer, inner obj) bool {
+	if !outer.ds.Tileset.Object(outer.id).MBB().Contains(inner.ds.Tileset.Object(inner.id).MBB()) {
+		return false
+	}
+	if len(inner.mesh.Vertices) == 0 {
+		return false
+	}
+	t0 := time.Now()
+	defer func() { c.col.geomNs.Add(time.Since(t0).Nanoseconds()) }()
+	p := inner.mesh.Vertices[0]
+	if c.opts.Accel == AABB {
+		return c.tree(outer).ContainsPoint(p)
+	}
+	return geom.PointInTriangles(p, outer.mesh.Triangles())
+}

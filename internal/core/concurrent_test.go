@@ -1,0 +1,83 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentQueriesShareEngine runs different joins concurrently on one
+// engine (sharing the decode cache and the simulated GPU) and checks every
+// run returns the same answers as a serial reference. Run with -race in CI.
+func TestConcurrentQueriesShareEngine(t *testing.T) {
+	e := testEngine(t)
+	a, b := buildDisjointPair(t, e)
+	ctx := context.Background()
+
+	refWithin, _, err := e.WithinJoin(ctx, a, b, 12, QueryOptions{Paradigm: FPR, Accel: AABB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refNN, _, err := e.NNJoin(ctx, a, b, QueryOptions{Paradigm: FPR, Accel: AABB})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 24)
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				switch g % 3 {
+				case 0:
+					got, _, err := e.WithinJoin(ctx, a, b, 12, QueryOptions{Paradigm: FPR, Accel: AABB})
+					if err != nil {
+						errs <- err
+						return
+					}
+					if len(got) != len(refWithin) {
+						errs <- errMismatch{}
+						return
+					}
+				case 1:
+					got, _, err := e.NNJoin(ctx, a, b, QueryOptions{Paradigm: FR, Accel: GPU})
+					if err != nil {
+						errs <- err
+						return
+					}
+					if len(got) != len(refNN) {
+						errs <- errMismatch{}
+						return
+					}
+					for j := range got {
+						if diff := got[j].Dist - refNN[j].Dist; diff > 1e-9 || diff < -1e-9 {
+							errs <- errMismatch{}
+							return
+						}
+					}
+				default:
+					got, _, err := e.IntersectJoin(ctx, a, b, QueryOptions{Paradigm: FPR, Accel: Partition})
+					if err != nil {
+						errs <- err
+						return
+					}
+					if len(got) != 0 { // disjoint datasets never intersect
+						errs <- errMismatch{}
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+type errMismatch struct{}
+
+func (errMismatch) Error() string { return "concurrent query result mismatch" }

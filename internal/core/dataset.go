@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/datagen"
+	"repro/internal/geom"
+	"repro/internal/index/rtree"
+	"repro/internal/mesh"
+	"repro/internal/partition"
+	"repro/internal/ppvp"
+	"repro/internal/storage"
+)
+
+// DatasetOptions configures ingestion of a mesh collection.
+type DatasetOptions struct {
+	// Compression configures the PPVP encoder.
+	Compression ppvp.Options
+	// Cuboids is the number of space-partition cuboids (paper: 1,000 for
+	// the full tissue; default 64 here). Objects in one cuboid are stored
+	// and batch-processed together for cache locality.
+	Cuboids int
+	// PartitionTargetFaces enables skeleton partitioning at ingest: objects
+	// with more than this many faces are split into sub-objects of roughly
+	// this size, and the sub-object boxes are indexed in a second global
+	// R-tree used by the Partition accelerators. Zero uses the default
+	// (256); negative disables partitioning.
+	PartitionTargetFaces int
+}
+
+func (o *DatasetOptions) setDefaults() {
+	if o.Compression.Rounds == 0 {
+		o.Compression = ppvp.DefaultOptions()
+	}
+	if o.Cuboids <= 0 {
+		o.Cuboids = 64
+	}
+	if o.PartitionTargetFaces == 0 {
+		o.PartitionTargetFaces = 256
+	}
+}
+
+// Dataset is an ingested, compressed, indexed object collection.
+type Dataset struct {
+	Name string
+	// seq is the engine-unique dataset number, used to namespace decode
+	// cache keys.
+	seq int64
+
+	Tileset *storage.Tileset
+	// tree indexes whole-object MBBs.
+	tree *rtree.Tree
+	// partTree indexes sub-object boxes for partitioned objects (and the
+	// whole MBB for unpartitioned ones); nil when partitioning is off.
+	partTree *rtree.Tree
+	// skeletons[id] holds the skeleton points of partitioned objects
+	// (nil entry = object too simple to partition).
+	skeletons [][]geom.Vec3
+	// partitionTargetFaces records the ingest-time partition granularity
+	// (0 when partitioning is disabled), persisted by SaveDataset.
+	partitionTargetFaces int
+
+	maxLOD int
+	// CompressStats aggregates encoder statistics over all objects.
+	CompressStats ppvp.Stats
+}
+
+// MaxLOD returns the highest LOD shared by all objects of the dataset.
+func (d *Dataset) MaxLOD() int { return d.maxLOD }
+
+// Len returns the object count.
+func (d *Dataset) Len() int { return len(d.Tileset.Objects) }
+
+// Tree exposes the whole-object R-tree.
+func (d *Dataset) Tree() *rtree.Tree { return d.tree }
+
+// CompressedBytes returns the total compressed footprint.
+func (d *Dataset) CompressedBytes() int64 { return d.Tileset.CompressedBytes() }
+
+// BuildDataset compresses, stores, partitions, and indexes a collection of
+// meshes. Meshes are compressed in parallel (the paper's 48-thread ingest).
+func (e *Engine) BuildDataset(name string, meshes []*mesh.Mesh, opts DatasetOptions) (*Dataset, error) {
+	opts.setDefaults()
+	if len(meshes) == 0 {
+		return nil, fmt.Errorf("core: dataset %q has no objects", name)
+	}
+
+	comps := make([]*ppvp.Compressed, len(meshes))
+	stats := make([]ppvp.Stats, len(meshes))
+	errs := make([]error, len(meshes))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, e.opts.Workers)
+	for i := range meshes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			comps[i], stats[i], errs[i] = ppvp.Compress(meshes[i], opts.Compression)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: compressing object %d of %q: %w", i, name, err)
+		}
+	}
+
+	space := geom.EmptyBox()
+	for _, c := range comps {
+		space = space.Union(c.MBB())
+	}
+	grid := storage.NewGrid(space, opts.Cuboids)
+	ts := storage.NewTileset(grid, comps)
+
+	d := &Dataset{Name: name, seq: e.nextSeq.Add(1), Tileset: ts, maxLOD: comps[0].MaxLOD()}
+	if opts.PartitionTargetFaces > 0 {
+		d.partitionTargetFaces = opts.PartitionTargetFaces
+	}
+	for i, c := range comps {
+		if c.MaxLOD() < d.maxLOD {
+			d.maxLOD = c.MaxLOD()
+		}
+		d.CompressStats.VerticesExamined += stats[i].VerticesExamined
+		d.CompressStats.VerticesProtruding += stats[i].VerticesProtruding
+		d.CompressStats.VerticesRemoved += stats[i].VerticesRemoved
+	}
+
+	// Whole-object index.
+	entries := make([]rtree.Entry, len(comps))
+	for i, c := range comps {
+		entries[i] = rtree.Entry{Box: c.MBB(), ID: int64(i)}
+	}
+	d.tree = rtree.BulkLoad(entries)
+
+	// Skeleton partitioning + sub-object index.
+	if opts.PartitionTargetFaces > 0 {
+		d.skeletons = make([][]geom.Vec3, len(meshes))
+		var partEntries []rtree.Entry
+		var mu sync.Mutex
+		var pwg sync.WaitGroup
+		perr := make([]error, len(meshes))
+		for i := range meshes {
+			pwg.Add(1)
+			go func(i int) {
+				defer pwg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				k := partition.GroupCount(meshes[i].NumFaces(), opts.PartitionTargetFaces)
+				if k <= 1 {
+					mu.Lock()
+					partEntries = append(partEntries, rtree.Entry{Box: comps[i].MBB(), ID: int64(i)})
+					mu.Unlock()
+					return
+				}
+				skel := partition.Skeleton(meshes[i], k)
+				groups := partition.AssignFaces(meshes[i], skel)
+				mu.Lock()
+				d.skeletons[i] = skel
+				for _, g := range groups {
+					partEntries = append(partEntries, rtree.Entry{Box: g.Box, ID: int64(i)})
+				}
+				mu.Unlock()
+			}(i)
+		}
+		pwg.Wait()
+		for _, err := range perr {
+			if err != nil {
+				return nil, err
+			}
+		}
+		d.partTree = rtree.BulkLoad(partEntries)
+	}
+	return d, nil
+}
+
+// filterTree returns the R-tree the filtering step should use for the given
+// accelerator: the sub-object tree for partition-based refinement when it
+// exists, otherwise the whole-object tree.
+func (d *Dataset) filterTree(a Accel) *rtree.Tree {
+	if a.UsesPartition() && d.partTree != nil {
+		return d.partTree
+	}
+	return d.tree
+}
+
+// BuildNucleiDataset is a convenience ingest of synthetic nuclei.
+func (e *Engine) BuildNucleiDataset(name string, gen datagen.NucleiOptions, opts DatasetOptions) (*Dataset, error) {
+	return e.BuildDataset(name, datagen.Nuclei(gen), opts)
+}
+
+// BuildVesselDataset is a convenience ingest of synthetic vessels.
+func (e *Engine) BuildVesselDataset(name string, gen datagen.VesselOptions, opts DatasetOptions) (*Dataset, error) {
+	return e.BuildDataset(name, datagen.Vessels(gen), opts)
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"context"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/index/rtree"
+	"repro/internal/storage"
+)
+
+// nnCand is one nearest-neighbor candidate with its live distance range
+// r = [MINDIST, MAXDIST] (Alg. 3 of the paper). MINDIST starts as the MBB
+// MINDIST and collapses to the exact distance at the highest LOD; MAXDIST
+// starts as the MBB-union diagonal and only decreases as lower-LOD
+// distances are measured (PPVP property 2 makes every measured distance an
+// upper bound of the true distance).
+type nnCand struct {
+	id      int64
+	minDist float64
+	maxDist float64
+	exact   bool
+}
+
+// NNJoin returns, for each object of target, its nearest neighbor in
+// source (self excluded when the datasets are identical). Targets with no
+// candidate (empty source) are omitted.
+func (e *Engine) NNJoin(ctx context.Context, target, source *Dataset, q QueryOptions) ([]Neighbor, *Stats, error) {
+	q.K = 1
+	return e.KNNJoin(ctx, target, source, q)
+}
+
+// KNNJoin returns, for each object of target, its q.K nearest neighbors in
+// source, closest first. Results are sorted by target then rank.
+func (e *Engine) KNNJoin(ctx context.Context, target, source *Dataset, q QueryOptions) ([]Neighbor, *Stats, error) {
+	if q.K <= 0 {
+		q.K = 1
+	}
+	start := time.Now()
+	col := newCollector(source.maxLOD)
+	ec := newEvalCtx(e, q, col)
+	lods := q.lodSchedule(minInt(target.maxLOD, source.maxLOD), q.Paradigm)
+	tree := source.filterTree(q.Accel)
+
+	var (
+		sink []Neighbor
+	)
+	sinkAdd := func(ns []Neighbor) {
+		ec.mu.Lock()
+		sink = append(sink, ns...)
+		ec.mu.Unlock()
+	}
+
+	err := runPerTarget(ctx, target, q.workers(e), func(o *storage.Object) error {
+		// Filtering step: R-tree NN candidate generation with
+		// MINMAXDIST-style pruning. With the sub-object tree one object can
+		// yield several entries; they merge by taking the minimum of both
+		// range endpoints.
+		var cands []*nnCand
+		timed(&col.filterNs, func() {
+			skip := func(ent rtree.Entry) bool { return target.seq == source.seq && ent.ID == o.ID }
+			raw := tree.NNCandidates(o.MBB(), q.K, skip)
+			byID := make(map[int64]*nnCand, len(raw))
+			for _, rc := range raw {
+				c, ok := byID[rc.ID]
+				if !ok {
+					c = &nnCand{id: rc.ID, minDist: rc.MinDist, maxDist: rc.MaxDist}
+					byID[rc.ID] = c
+					cands = append(cands, c)
+					continue
+				}
+				c.minDist = math.Min(c.minDist, rc.MinDist)
+				c.maxDist = math.Min(c.maxDist, rc.MaxDist)
+			}
+		})
+		col.candidates.Add(int64(len(cands)))
+		if len(cands) == 0 {
+			return nil
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].id < cands[j].id })
+
+		// Progressive refinement (Alg. 3): measure candidate distances at
+		// ascending LODs, shrinking MAXDISTs and pruning with the k-th
+		// smallest MAXDIST, until only k candidates survive or the highest
+		// LOD settles everything.
+		kth := func() float64 {
+			if len(cands) < q.K {
+				return math.Inf(1)
+			}
+			maxd := make([]float64, len(cands))
+			for i, c := range cands {
+				maxd[i] = c.maxDist
+			}
+			sort.Float64s(maxd)
+			return maxd[q.K-1]
+		}
+		minmax := kth()
+
+		// prevEvalLOD tracks the last LOD whose evaluations tightened
+		// MINMAXDIST; prunes triggered by that tightening are attributed
+		// to it in the Fig. 12 statistics. -1 means the R-tree filter.
+		prevEvalLOD := -1
+		for li, lod := range lods {
+			if len(cands) <= q.K && allExact(cands) {
+				break
+			}
+			last := li == len(lods)-1
+			// Once no more candidates can be pruned, intermediate LODs are
+			// pure overhead: jump straight to the highest LOD for the exact
+			// distances.
+			if len(cands) <= q.K && !last {
+				continue
+			}
+			to, err := ec.decode(target, o.ID, lod)
+			if err != nil {
+				return err
+			}
+			kept := cands[:0]
+			for _, c := range cands {
+				// MINMAXDIST keeps decreasing; re-check before decoding.
+				// A candidate dropped here was settled by the previous
+				// LOD's refinement (or by the filter when none ran yet).
+				if c.minDist > minmax*(1+1e-12) {
+					if prevEvalLOD >= 0 {
+						col.pruned[prevEvalLOD].Add(1)
+					}
+					continue
+				}
+				so, err := ec.decode(source, c.id, lod)
+				if err != nil {
+					return err
+				}
+				col.evaluated[lod].Add(1)
+				d := ec.minDist(to, so, c.maxDist*(1+1e-12))
+				if d < c.maxDist {
+					c.maxDist = d
+				}
+				if last {
+					// The range collapses to the exact distance.
+					c.minDist = math.Min(d, c.maxDist)
+					c.maxDist = c.minDist
+					c.exact = true
+				}
+				// MINMAXDIST tightening inside the pass is only sound for
+				// k = 1: for larger k the threshold is the k-th smallest
+				// MAXDIST, recomputed between passes.
+				if q.K == 1 && c.maxDist < minmax {
+					minmax = c.maxDist
+				}
+				kept = append(kept, c)
+			}
+			cands = kept
+			minmax = kth()
+			// Post-pass prune (steps 14–16).
+			kept = cands[:0]
+			for _, c := range cands {
+				if c.minDist > minmax*(1+1e-12) {
+					col.pruned[lod].Add(1)
+					continue
+				}
+				kept = append(kept, c)
+			}
+			cands = kept
+			prevEvalLOD = lod
+		}
+
+		// Settle any remainder exactly (only reachable when the candidate
+		// list shrank to k before the top LOD — their current MAXDISTs are
+		// upper bounds, but ranking requires exact values).
+		top := lods[len(lods)-1]
+		for _, c := range cands {
+			if c.exact {
+				continue
+			}
+			to, err := ec.decode(target, o.ID, top)
+			if err != nil {
+				return err
+			}
+			so, err := ec.decode(source, c.id, top)
+			if err != nil {
+				return err
+			}
+			col.evaluated[top].Add(1)
+			d := ec.minDist(to, so, c.maxDist*(1+1e-12))
+			c.minDist = math.Min(d, c.maxDist)
+			c.maxDist = c.minDist
+			c.exact = true
+		}
+
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].minDist != cands[j].minDist {
+				return cands[i].minDist < cands[j].minDist
+			}
+			return cands[i].id < cands[j].id
+		})
+		k := q.K
+		if k > len(cands) {
+			k = len(cands)
+		}
+		out := make([]Neighbor, 0, k)
+		for _, c := range cands[:k] {
+			out = append(out, Neighbor{Target: o.ID, Source: c.id, Dist: c.minDist})
+			col.results.Add(1)
+		}
+		sinkAdd(out)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	sort.Slice(sink, func(i, j int) bool {
+		if sink[i].Target != sink[j].Target {
+			return sink[i].Target < sink[j].Target
+		}
+		if sink[i].Dist != sink[j].Dist {
+			return sink[i].Dist < sink[j].Dist
+		}
+		return sink[i].Source < sink[j].Source
+	})
+	return sink, col.snapshot(time.Since(start)), nil
+}
+
+func allExact(cands []*nnCand) bool {
+	for _, c := range cands {
+		if !c.exact {
+			return false
+		}
+	}
+	return true
+}

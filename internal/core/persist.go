@@ -1,0 +1,156 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/geom"
+	"repro/internal/index/rtree"
+	"repro/internal/partition"
+	"repro/internal/ppvp"
+	"repro/internal/storage"
+)
+
+// datasetManifest is the JSON sidecar stored next to the tile files. Tiles
+// hold the compressed objects; the manifest records the grid geometry so a
+// load rebuilds identical cuboid assignments. Indexes and skeletons are
+// rebuilt on load (they are derived data).
+type datasetManifest struct {
+	Name                 string     `json:"name"`
+	SpaceMin             [3]float64 `json:"space_min"`
+	SpaceMax             [3]float64 `json:"space_max"`
+	Nx                   int        `json:"nx"`
+	Ny                   int        `json:"ny"`
+	Nz                   int        `json:"nz"`
+	PartitionTargetFaces int        `json:"partition_target_faces"`
+}
+
+const manifestFile = "dataset.json"
+
+// SaveDataset persists a dataset as tile files plus a manifest under dir.
+// The layout matches the paper's storage design: one file per cuboid with
+// the compressed blobs of its objects, loadable back into memory as a unit.
+func (d *Dataset) SaveDataset(dir string) error {
+	if err := d.Tileset.SaveTiles(dir); err != nil {
+		return err
+	}
+	g := d.Tileset.Grid
+	man := datasetManifest{
+		Name:     d.Name,
+		SpaceMin: [3]float64{g.Space.Min.X, g.Space.Min.Y, g.Space.Min.Z},
+		SpaceMax: [3]float64{g.Space.Max.X, g.Space.Max.Y, g.Space.Max.Z},
+		Nx:       g.Nx, Ny: g.Ny, Nz: g.Nz,
+		PartitionTargetFaces: d.partitionTargetFaces,
+	}
+	blob, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, manifestFile), blob, 0o644)
+}
+
+// LoadDataset restores a dataset saved with SaveDataset: tiles are read
+// back, and the R-trees and skeletons are rebuilt from the compressed
+// objects (decoding the highest LOD once per object when partitioning was
+// enabled).
+func (e *Engine) LoadDataset(dir string) (*Dataset, error) {
+	blob, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if err != nil {
+		return nil, fmt.Errorf("core: reading dataset manifest: %w", err)
+	}
+	var man datasetManifest
+	if err := json.Unmarshal(blob, &man); err != nil {
+		return nil, fmt.Errorf("core: parsing dataset manifest: %w", err)
+	}
+	grid := storage.Grid{
+		Space: geom.Box3{
+			Min: geom.V(man.SpaceMin[0], man.SpaceMin[1], man.SpaceMin[2]),
+			Max: geom.V(man.SpaceMax[0], man.SpaceMax[1], man.SpaceMax[2]),
+		},
+		Nx: man.Nx, Ny: man.Ny, Nz: man.Nz,
+	}
+	ts, err := storage.LoadTiles(dir, grid)
+	if err != nil {
+		return nil, err
+	}
+	if len(ts.Objects) == 0 {
+		return nil, fmt.Errorf("core: dataset in %s has no objects", dir)
+	}
+
+	d := &Dataset{
+		Name:                 man.Name,
+		seq:                  e.nextSeq.Add(1),
+		Tileset:              ts,
+		maxLOD:               ts.Objects[0].Comp.MaxLOD(),
+		partitionTargetFaces: man.PartitionTargetFaces,
+	}
+	entries := make([]rtree.Entry, len(ts.Objects))
+	for i, o := range ts.Objects {
+		if o.Comp.MaxLOD() < d.maxLOD {
+			d.maxLOD = o.Comp.MaxLOD()
+		}
+		entries[i] = rtree.Entry{Box: o.MBB(), ID: o.ID}
+	}
+	d.tree = rtree.BulkLoad(entries)
+
+	if man.PartitionTargetFaces > 0 {
+		if err := d.rebuildPartitions(e, man.PartitionTargetFaces); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// rebuildPartitions recomputes skeletons and the sub-object R-tree from the
+// stored objects (decoding each at its highest LOD).
+func (d *Dataset) rebuildPartitions(e *Engine, targetFaces int) error {
+	d.skeletons = make([][]geom.Vec3, len(d.Tileset.Objects))
+	var (
+		mu          sync.Mutex
+		partEntries []rtree.Entry
+		wg          sync.WaitGroup
+		firstErr    error
+	)
+	sem := make(chan struct{}, e.opts.Workers)
+	for i, o := range d.Tileset.Objects {
+		wg.Add(1)
+		go func(i int, comp *ppvp.Compressed) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			m, err := comp.Decode(comp.MaxLOD())
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			k := partition.GroupCount(m.NumFaces(), targetFaces)
+			if k <= 1 {
+				mu.Lock()
+				partEntries = append(partEntries, rtree.Entry{Box: comp.MBB(), ID: int64(i)})
+				mu.Unlock()
+				return
+			}
+			skel := partition.Skeleton(m, k)
+			groups := partition.AssignFaces(m, skel)
+			mu.Lock()
+			d.skeletons[i] = skel
+			for _, g := range groups {
+				partEntries = append(partEntries, rtree.Entry{Box: g.Box, ID: int64(i)})
+			}
+			mu.Unlock()
+		}(i, o.Comp)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	d.partTree = rtree.BulkLoad(partEntries)
+	return nil
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadDatasetRoundTrip(t *testing.T) {
+	e := testEngine(t)
+	a, b := buildDisjointPair(t, e)
+
+	dir := t.TempDir()
+	if err := a.SaveDataset(dir); err != nil {
+		t.Fatalf("SaveDataset: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "dataset.json")); err != nil {
+		t.Fatalf("manifest missing: %v", err)
+	}
+
+	loaded, err := e.LoadDataset(dir)
+	if err != nil {
+		t.Fatalf("LoadDataset: %v", err)
+	}
+	if loaded.Len() != a.Len() || loaded.MaxLOD() != a.MaxLOD() || loaded.Name != a.Name {
+		t.Fatalf("metadata mismatch: %d/%d objects, maxLOD %d/%d",
+			loaded.Len(), a.Len(), loaded.MaxLOD(), a.MaxLOD())
+	}
+
+	// Queries against the loaded dataset must match the original exactly.
+	q := QueryOptions{Paradigm: FPR, Accel: Partition}
+	want, _, err := e.WithinJoin(context.Background(), a, b, 12, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := e.WithinJoin(context.Background(), loaded, b, 12, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSets(t, "loaded dataset", got, pairsToSet(want))
+
+	wantNN, _, err := e.NNJoin(context.Background(), a, b, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotNN, _, err := e.NNJoin(context.Background(), loaded, b, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wantNN) != len(gotNN) {
+		t.Fatalf("NN counts differ: %d vs %d", len(gotNN), len(wantNN))
+	}
+	for i := range wantNN {
+		if gotNN[i].Target != wantNN[i].Target || gotNN[i].Dist != wantNN[i].Dist {
+			t.Fatalf("NN result %d differs: %+v vs %+v", i, gotNN[i], wantNN[i])
+		}
+	}
+}
+
+func TestLoadDatasetErrors(t *testing.T) {
+	e := testEngine(t)
+	if _, err := e.LoadDataset(t.TempDir()); err == nil {
+		t.Error("empty directory accepted")
+	}
+
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "dataset.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.LoadDataset(dir); err == nil {
+		t.Error("corrupt manifest accepted")
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/storage"
+)
+
+// QueryKind names one of the three supported join predicates.
+type QueryKind int
+
+const (
+	IntersectKind QueryKind = iota
+	WithinKind
+	NNKind
+)
+
+func (k QueryKind) String() string {
+	switch k {
+	case IntersectKind:
+		return "intersect"
+	case WithinKind:
+		return "within"
+	default:
+		return "nn"
+	}
+}
+
+// DefaultPruneThreshold is the paper's §4.4 criterion with r = 2: refining
+// at a LOD pays off when more than 1/r² = 25 % of the evaluated pairs are
+// settled there.
+const DefaultPruneThreshold = 0.25
+
+// SampleCuboid returns a shallow view of the dataset restricted to its most
+// populated cuboid — the paper's §6.5 profiling sample. The view shares the
+// indexes and objects of the original, so queries against it behave as if
+// only those targets were asked about.
+func (d *Dataset) SampleCuboid() *Dataset {
+	best, bestN := -1, -1
+	for c, objs := range d.Tileset.Tiles {
+		if len(objs) > bestN || (len(objs) == bestN && c < best) {
+			best, bestN = c, len(objs)
+		}
+	}
+	if best < 0 {
+		return d
+	}
+	view := *d
+	ts := *d.Tileset
+	ts.Tiles = map[int][]*storage.Object{best: d.Tileset.Tiles[best]}
+	view.Tileset = &ts
+	return &view
+}
+
+// ProfileLODs runs the given join on a single-cuboid sample of the target
+// with refinement at every LOD, then returns the LOD schedule the §4.4
+// rule selects: every LOD whose pruned fraction exceeds threshold, plus the
+// highest LOD. dist is only used for WithinKind. The sample's statistics
+// are returned for inspection (Fig. 12).
+func (e *Engine) ProfileLODs(ctx context.Context, target, source *Dataset, kind QueryKind, dist float64, q QueryOptions, threshold float64) ([]int, *Stats, error) {
+	if threshold <= 0 {
+		threshold = DefaultPruneThreshold
+	}
+	sample := target.SampleCuboid()
+	pq := q
+	pq.Paradigm = FPR
+	pq.LODs = nil // visit every LOD
+
+	var (
+		stats *Stats
+		err   error
+	)
+	switch kind {
+	case IntersectKind:
+		_, stats, err = e.IntersectJoin(ctx, sample, source, pq)
+	case WithinKind:
+		_, stats, err = e.WithinJoin(ctx, sample, source, dist, pq)
+	case NNKind:
+		_, stats, err = e.NNJoin(ctx, sample, source, pq)
+	default:
+		return nil, nil, fmt.Errorf("core: unknown query kind %d", kind)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+
+	maxLOD := minInt(target.maxLOD, source.maxLOD)
+	var lods []int
+	for l := 0; l < maxLOD; l++ {
+		if stats.PrunedFraction(l) >= threshold {
+			lods = append(lods, l)
+		}
+	}
+	lods = append(lods, maxLOD)
+	sort.Ints(lods)
+	return lods, stats, nil
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/storage"
+)
+
+// runPerTarget executes fn for every object of the target dataset,
+// parallelized over cuboids so that objects sharing a cuboid are processed
+// together — the batching of §5.3 that gives the decode cache its spatial
+// locality. The first error aborts remaining work (already running cuboids
+// finish).
+func runPerTarget(ctx context.Context, target *Dataset, workers int, fn func(o *storage.Object) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cuboids := make([]int, 0, len(target.Tileset.Tiles))
+	for c := range target.Tileset.Tiles {
+		cuboids = append(cuboids, c)
+	}
+	sort.Ints(cuboids)
+
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		firstEr error
+	)
+	sem := make(chan struct{}, workers)
+	for _, c := range cuboids {
+		objs := target.Tileset.Tiles[c]
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(objs []*storage.Object) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			for _, o := range objs {
+				if err := ctx.Err(); err != nil {
+					mu.Lock()
+					if firstEr == nil {
+						firstEr = err
+					}
+					mu.Unlock()
+					return
+				}
+				mu.Lock()
+				abort := firstEr != nil
+				mu.Unlock()
+				if abort {
+					return
+				}
+				if err := fn(o); err != nil {
+					mu.Lock()
+					if firstEr == nil {
+						firstEr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}(objs)
+	}
+	wg.Wait()
+	return firstEr
+}
+
+// resultSink collects pairs from concurrent workers and returns them in a
+// deterministic order.
+type resultSink struct {
+	mu    sync.Mutex
+	pairs []Pair
+}
+
+func (r *resultSink) add(p Pair) {
+	r.mu.Lock()
+	r.pairs = append(r.pairs, p)
+	r.mu.Unlock()
+}
+
+func (r *resultSink) sorted() []Pair {
+	sort.Slice(r.pairs, func(i, j int) bool {
+		if r.pairs[i].Target != r.pairs[j].Target {
+			return r.pairs[i].Target < r.pairs[j].Target
+		}
+		return r.pairs[i].Source < r.pairs[j].Source
+	})
+	return r.pairs
+}
+
+// timed wraps a phase measurement.
+func timed(dst interface{ Add(int64) int64 }, fn func()) {
+	t0 := time.Now()
+	fn()
+	dst.Add(time.Since(t0).Nanoseconds())
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Stats describes one join execution: the wall-clock time, the per-phase
+// breakdown the paper profiles in Fig. 10 (filtering, decompression,
+// geometric computation), and the per-LOD evaluation/pruning counts behind
+// Fig. 12. Phase times are summed across workers, so they represent CPU
+// time and can exceed Elapsed.
+type Stats struct {
+	Elapsed    time.Duration
+	FilterTime time.Duration
+	DecodeTime time.Duration
+	GeomTime   time.Duration
+
+	// Candidates counts object pairs produced by the filtering step;
+	// Results counts pairs in the final answer.
+	Candidates int64
+	Results    int64
+
+	// Decodes counts actual (cache-missing) decode operations; CacheHits
+	// counts decode requests served from the LRU cache during this query.
+	Decodes   int64
+	CacheHits int64
+
+	// PairsEvaluated[l] and PairsPruned[l] count the candidate pairs that
+	// were evaluated at LOD l and the ones settled (accepted or rejected
+	// for good) at LOD l. Index len-1 is the highest LOD.
+	PairsEvaluated []int64
+	PairsPruned    []int64
+}
+
+// PrunedFraction returns PairsPruned[l] / PairsEvaluated[l] (0 when no
+// pairs were evaluated) — the quantity compared against 1/r² in §4.4.
+func (s *Stats) PrunedFraction(lod int) float64 {
+	if lod < 0 || lod >= len(s.PairsEvaluated) || s.PairsEvaluated[lod] == 0 {
+		return 0
+	}
+	return float64(s.PairsPruned[lod]) / float64(s.PairsEvaluated[lod])
+}
+
+// String formats the stats as a one-line summary plus the LOD table.
+func (s *Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "elapsed=%v filter=%v decode=%v geom=%v candidates=%d results=%d decodes=%d cacheHits=%d",
+		s.Elapsed.Round(time.Microsecond), s.FilterTime.Round(time.Microsecond),
+		s.DecodeTime.Round(time.Microsecond), s.GeomTime.Round(time.Microsecond),
+		s.Candidates, s.Results, s.Decodes, s.CacheHits)
+	for l := range s.PairsEvaluated {
+		if s.PairsEvaluated[l] > 0 {
+			fmt.Fprintf(&b, " lod%d=%d/%d", l, s.PairsPruned[l], s.PairsEvaluated[l])
+		}
+	}
+	return b.String()
+}
+
+// collector accumulates statistics from concurrent workers.
+type collector struct {
+	filterNs   atomic.Int64
+	decodeNs   atomic.Int64
+	geomNs     atomic.Int64
+	candidates atomic.Int64
+	results    atomic.Int64
+	decodes    atomic.Int64
+	cacheHits  atomic.Int64
+	evaluated  []atomic.Int64
+	pruned     []atomic.Int64
+}
+
+func newCollector(maxLOD int) *collector {
+	return &collector{
+		evaluated: make([]atomic.Int64, maxLOD+1),
+		pruned:    make([]atomic.Int64, maxLOD+1),
+	}
+}
+
+func (c *collector) snapshot(elapsed time.Duration) *Stats {
+	s := &Stats{
+		Elapsed:        elapsed,
+		FilterTime:     time.Duration(c.filterNs.Load()),
+		DecodeTime:     time.Duration(c.decodeNs.Load()),
+		GeomTime:       time.Duration(c.geomNs.Load()),
+		Candidates:     c.candidates.Load(),
+		Results:        c.results.Load(),
+		Decodes:        c.decodes.Load(),
+		CacheHits:      c.cacheHits.Load(),
+		PairsEvaluated: make([]int64, len(c.evaluated)),
+		PairsPruned:    make([]int64, len(c.pruned)),
+	}
+	for i := range c.evaluated {
+		s.PairsEvaluated[i] = c.evaluated[i].Load()
+		s.PairsPruned[i] = c.pruned[i].Load()
+	}
+	return s
+}

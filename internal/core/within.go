@@ -1,0 +1,126 @@
+package core
+
+import (
+	"context"
+	"math"
+	"time"
+
+	"repro/internal/storage"
+)
+
+// WithinJoin returns, for each object o of target, every object of source
+// whose distance to o is ≤ dist. When target and source are the same
+// dataset an object never matches itself.
+//
+// The filtering step (§4.2) uses MINDIST/MAXDIST pruning on the R-tree:
+// subtrees provably out of range are skipped and subtrees provably within
+// range are accepted without any decoding. Under FPR (Alg. 2) the remaining
+// candidates are settled early: if the distance at a low LOD is already
+// ≤ dist, the true distance can only be smaller (PPVP property 2), so the
+// candidate is reported without decoding higher LODs. A low-LOD distance
+// above dist is inconclusive, so unsettled candidates ride up to the
+// highest LOD where the decision is exact.
+func (e *Engine) WithinJoin(ctx context.Context, target, source *Dataset, dist float64, q QueryOptions) ([]Pair, *Stats, error) {
+	start := time.Now()
+	col := newCollector(source.maxLOD)
+	ec := newEvalCtx(e, q, col)
+	lods := q.lodSchedule(minInt(target.maxLOD, source.maxLOD), q.Paradigm)
+	tree := source.filterTree(q.Accel)
+	sink := &resultSink{}
+
+	err := runPerTarget(ctx, target, q.workers(e), func(o *storage.Object) error {
+		var res struct {
+			definite   []int64
+			candidates []int64
+		}
+		timed(&col.filterNs, func() {
+			r := tree.SearchWithin(o.MBB(), dist)
+			seenDef := map[int64]bool{}
+			for _, ent := range r.Definite {
+				if (target.seq == source.seq && ent.ID == o.ID) || seenDef[ent.ID] {
+					continue
+				}
+				seenDef[ent.ID] = true
+				res.definite = append(res.definite, ent.ID)
+			}
+			seen := map[int64]bool{}
+			for _, ent := range r.Candidates {
+				if (target.seq == source.seq && ent.ID == o.ID) || seen[ent.ID] || seenDef[ent.ID] {
+					continue
+				}
+				seen[ent.ID] = true
+				res.candidates = append(res.candidates, ent.ID)
+			}
+		})
+		col.candidates.Add(int64(len(res.definite) + len(res.candidates)))
+
+		// Whole-subtree acceptances need no geometry at all.
+		sortIDs(res.definite)
+		for _, id := range res.definite {
+			sink.add(Pair{Target: o.ID, Source: id})
+			col.results.Add(1)
+		}
+
+		remaining := res.candidates
+		sortIDs(remaining)
+		for li, lod := range lods {
+			if len(remaining) == 0 {
+				break
+			}
+			last := li == len(lods)-1
+			to, err := ec.decode(target, o.ID, lod)
+			if err != nil {
+				return err
+			}
+			next := remaining[:0]
+			for _, id := range remaining {
+				so, err := ec.decode(source, id, lod)
+				if err != nil {
+					return err
+				}
+				col.evaluated[lod].Add(1)
+				d := ec.minDist(to, so, dist*(1+1e-12))
+				if d <= dist {
+					col.pruned[lod].Add(1)
+					sink.add(Pair{Target: o.ID, Source: id})
+					col.results.Add(1)
+					continue
+				}
+				if last {
+					col.pruned[lod].Add(1) // settled by rejection at top LOD
+					continue
+				}
+				next = append(next, id)
+			}
+			remaining = next
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return sink.sorted(), col.snapshot(time.Since(start)), nil
+}
+
+// Dist is a convenience exact distance between two stored objects at the
+// highest LOD (used by examples and tests).
+func (e *Engine) ExactDistance(a *Dataset, aid int64, b *Dataset, bid int64, q QueryOptions) (float64, error) {
+	col := newCollector(maxInt(a.maxLOD, b.maxLOD))
+	ec := newEvalCtx(e, q, col)
+	ao, err := ec.decode(a, aid, a.maxLOD)
+	if err != nil {
+		return 0, err
+	}
+	bo, err := ec.decode(b, bid, b.maxLOD)
+	if err != nil {
+		return 0, err
+	}
+	return ec.minDist(ao, bo, math.Inf(1)), nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,171 @@
+// Package datagen generates the synthetic stand-ins for the paper's two 3D
+// pathology datasets (§6.2):
+//
+//   - nuclei: vast numbers of small, regular, quasi-convex objects (noisy
+//     ellipsoids of ≈320 faces; the paper's average is 300) of which ≈99 %
+//     of vertices are protruding;
+//   - vessels: fewer, large, bifurcated objects (tube trees with a
+//     configurable face budget and, by default, the paper's 5 bifurcations)
+//     with recessing regions at radius bulges, giving a lower protruding
+//     fraction.
+//
+// Objects within one dataset never intersect (guaranteed by grid placement
+// with bounded object radius), matching the paper's datasets. A second
+// nuclei dataset can be derived with a spatial offset and fresh noise to
+// emulate the output of an alternative segmentation algorithm, which makes
+// the two datasets intersect heavily — the paper's intersection-join
+// workload.
+//
+// All generation is deterministic in the seed.
+package datagen
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/mesh"
+)
+
+// NucleiOptions configures nuclei generation.
+type NucleiOptions struct {
+	// Count is the number of nuclei.
+	Count int
+	// Space is the box the dataset must fit inside.
+	Space geom.Box3
+	// SubdivisionLevel controls the face count: level 2 → 320 faces per
+	// nucleus (the paper's regime). Defaults to 2.
+	SubdivisionLevel int
+	// NoiseAmplitude is the relative radial noise (default 0.015, which
+	// keeps ≈99 % of vertices protruding as in the paper's profile).
+	NoiseAmplitude float64
+	// Offset displaces every nucleus, used to derive the "second
+	// segmentation" dataset that intersects the first.
+	Offset geom.Vec3
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (o *NucleiOptions) setDefaults() {
+	if o.Count <= 0 {
+		o.Count = 100
+	}
+	if o.Space.IsEmpty() || o.Space.Volume() <= 0 {
+		o.Space = geom.Box3{Min: geom.V(0, 0, 0), Max: geom.V(100, 100, 100)}
+	}
+	if o.SubdivisionLevel <= 0 {
+		o.SubdivisionLevel = 2
+	}
+	if o.NoiseAmplitude <= 0 {
+		o.NoiseAmplitude = 0.015
+	}
+}
+
+// Nuclei generates Count nuclei on a jittered grid inside Space. Objects in
+// the returned slice never intersect one another.
+func Nuclei(opts NucleiOptions) []*mesh.Mesh {
+	opts.setDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	cells := gridCells(opts.Space, opts.Count)
+	out := make([]*mesh.Mesh, 0, opts.Count)
+	for i := 0; i < opts.Count; i++ {
+		cell := cells[i]
+		// Radius bounded by 0.3 × the smallest cell edge so that even with
+		// the jitter below, neighbors cannot touch.
+		s := cell.Size()
+		maxR := 0.3 * math.Min(s.X, math.Min(s.Y, s.Z))
+		r := maxR * (0.6 + 0.4*rng.Float64())
+
+		m := noisyEllipsoid(rng, r, opts.SubdivisionLevel, opts.NoiseAmplitude)
+		jitter := geom.V(
+			(rng.Float64()-0.5)*(s.X-2*maxR)*0.5,
+			(rng.Float64()-0.5)*(s.Y-2*maxR)*0.5,
+			(rng.Float64()-0.5)*(s.Z-2*maxR)*0.5,
+		)
+		m.Translate(cell.Center().Add(jitter).Add(opts.Offset))
+		out = append(out, m)
+	}
+	return out
+}
+
+// NucleiPair generates two mutually interior-disjoint nuclei datasets by
+// splitting one grid generation into alternating cells. Distance queries
+// (within, nearest neighbor) require datasets whose objects' interiors
+// never overlap — the precondition the paper's tissue datasets satisfy and
+// on which the PPVP distance property relies; this pair provides it.
+func NucleiPair(opts NucleiOptions) (first, second []*mesh.Mesh) {
+	opts.setDefaults()
+	opts.Count *= 2
+	all := Nuclei(opts)
+	for i, m := range all {
+		if i%2 == 0 {
+			first = append(first, m)
+		} else {
+			second = append(second, m)
+		}
+	}
+	return first, second
+}
+
+// noisyEllipsoid builds one nucleus: an ellipsoid with smooth low-frequency
+// radial noise.
+func noisyEllipsoid(rng *rand.Rand, r float64, level int, amp float64) *mesh.Mesh {
+	// Mild anisotropy.
+	ax := r * (0.85 + 0.3*rng.Float64())
+	ay := r * (0.85 + 0.3*rng.Float64())
+	az := r * (0.85 + 0.3*rng.Float64())
+
+	// Smooth directional noise: a few random cosine lobes.
+	type lobe struct {
+		dir   geom.Vec3
+		freq  float64
+		phase float64
+		amp   float64
+	}
+	lobes := make([]lobe, 3)
+	for i := range lobes {
+		lobes[i] = lobe{
+			dir:   randomUnit(rng),
+			freq:  2 + 3*rng.Float64(),
+			phase: rng.Float64() * 2 * math.Pi,
+			amp:   amp * (0.5 + rng.Float64()),
+		}
+	}
+
+	m := mesh.Icosphere(1, level)
+	for i, v := range m.Vertices {
+		f := 1.0
+		for _, l := range lobes {
+			f += l.amp * math.Cos(l.freq*v.Dot(l.dir)+l.phase)
+		}
+		m.Vertices[i] = geom.V(v.X*ax*f, v.Y*ay*f, v.Z*az*f)
+	}
+	return m
+}
+
+func randomUnit(rng *rand.Rand) geom.Vec3 {
+	for {
+		v := geom.V(rng.Float64()*2-1, rng.Float64()*2-1, rng.Float64()*2-1)
+		if l := v.Len(); l > 1e-3 && l <= 1 {
+			return v.Mul(1 / l)
+		}
+	}
+}
+
+// gridCells returns at least n cell boxes tiling the space.
+func gridCells(space geom.Box3, n int) []geom.Box3 {
+	k := int(math.Ceil(math.Cbrt(float64(n))))
+	size := space.Size()
+	dx, dy, dz := size.X/float64(k), size.Y/float64(k), size.Z/float64(k)
+	cells := make([]geom.Box3, 0, k*k*k)
+	for z := 0; z < k && len(cells) < n; z++ {
+		for y := 0; y < k && len(cells) < n; y++ {
+			for x := 0; x < k && len(cells) < n; x++ {
+				min := space.Min.Add(geom.V(float64(x)*dx, float64(y)*dy, float64(z)*dz))
+				cells = append(cells, geom.Box3{Min: min, Max: min.Add(geom.V(dx, dy, dz))})
+			}
+		}
+	}
+	return cells
+}

@@ -1,0 +1,115 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// unitCubeTris returns the 12 CCW-oriented triangles of the axis-aligned
+// cube [0,1]^3 with outward normals.
+func unitCubeTris() []Triangle {
+	v := []Vec3{
+		{0, 0, 0}, {1, 0, 0}, {1, 1, 0}, {0, 1, 0}, // bottom z=0
+		{0, 0, 1}, {1, 0, 1}, {1, 1, 1}, {0, 1, 1}, // top z=1
+	}
+	quads := [][4]int{
+		{3, 2, 1, 0}, // bottom (normal -Z)
+		{4, 5, 6, 7}, // top (+Z)
+		{0, 1, 5, 4}, // front (-Y)
+		{2, 3, 7, 6}, // back (+Y)
+		{1, 2, 6, 5}, // right (+X)
+		{3, 0, 4, 7}, // left (-X)
+	}
+	var tris []Triangle
+	for _, q := range quads {
+		tris = append(tris,
+			Tri(v[q[0]], v[q[1]], v[q[2]]),
+			Tri(v[q[0]], v[q[2]], v[q[3]]))
+	}
+	return tris
+}
+
+func TestRayIntersectTriangle(t *testing.T) {
+	tr := Tri(V(0, 0, 0), V(2, 0, 0), V(0, 2, 0))
+	r := Ray{Origin: V(0.3, 0.3, -1), Dir: V(0, 0, 1)}
+	tt, ok := r.IntersectTriangle(tr)
+	if !ok || tt != 1 {
+		t.Errorf("hit = %v,%v, want t=1,true", tt, ok)
+	}
+
+	// Miss.
+	r2 := Ray{Origin: V(5, 5, -1), Dir: V(0, 0, 1)}
+	if _, ok := r2.IntersectTriangle(tr); ok {
+		t.Error("miss reported as hit")
+	}
+
+	// Ray pointing away.
+	r3 := Ray{Origin: V(0.3, 0.3, -1), Dir: V(0, 0, -1)}
+	if _, ok := r3.IntersectTriangle(tr); ok {
+		t.Error("backward ray reported as hit")
+	}
+}
+
+func TestRayIntersectBox(t *testing.T) {
+	b := box(0, 0, 0, 1, 1, 1)
+	if !(Ray{Origin: V(-1, 0.5, 0.5), Dir: V(1, 0, 0)}).IntersectBox(b) {
+		t.Error("head-on ray missed box")
+	}
+	if (Ray{Origin: V(-1, 5, 0.5), Dir: V(1, 0, 0)}).IntersectBox(b) {
+		t.Error("offset ray hit box")
+	}
+	if (Ray{Origin: V(2, 0.5, 0.5), Dir: V(1, 0, 0)}).IntersectBox(b) {
+		t.Error("ray pointing away hit box")
+	}
+	// Origin inside the box.
+	if !(Ray{Origin: V(0.5, 0.5, 0.5), Dir: V(0, 1, 0)}).IntersectBox(b) {
+		t.Error("ray from inside missed box")
+	}
+	// Axis-parallel, zero direction component within slab.
+	if !(Ray{Origin: V(0.5, -1, 0.5), Dir: V(0, 1, 0)}).IntersectBox(b) {
+		t.Error("axis-parallel ray missed box")
+	}
+}
+
+func TestPointInTrianglesCube(t *testing.T) {
+	tris := unitCubeTris()
+	inside := []Vec3{
+		{0.5, 0.5, 0.5}, {0.1, 0.1, 0.1}, {0.9, 0.9, 0.9}, {0.5, 0.2, 0.8},
+	}
+	outside := []Vec3{
+		{1.5, 0.5, 0.5}, {-0.1, 0.5, 0.5}, {0.5, 0.5, 2}, {2, 2, 2}, {-1, -1, -1},
+	}
+	for _, p := range inside {
+		if !PointInTriangles(p, tris) {
+			t.Errorf("point %v should be inside the cube", p)
+		}
+	}
+	for _, p := range outside {
+		if PointInTriangles(p, tris) {
+			t.Errorf("point %v should be outside the cube", p)
+		}
+	}
+}
+
+// Property: random points classified against the cube must match the
+// analytic box containment (excluding a thin shell near the boundary where
+// robustness is not promised).
+func TestPointInTrianglesMatchesBox(t *testing.T) {
+	tris := unitCubeTris()
+	b := box(0, 0, 0, 1, 1, 1)
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 2000; i++ {
+		p := V(rng.Float64()*3-1, rng.Float64()*3-1, rng.Float64()*3-1)
+		if b.Expand(-1e-6).ContainsPoint(p) != b.ContainsPoint(p) {
+			continue // too close to the boundary, skip
+		}
+		nearBoundary := b.Expand(1e-6).ContainsPoint(p) && !b.Expand(-1e-6).ContainsPoint(p)
+		if nearBoundary {
+			continue
+		}
+		want := b.ContainsPoint(p)
+		if got := PointInTriangles(p, tris); got != want {
+			t.Fatalf("point %v: got inside=%v, want %v", p, got, want)
+		}
+	}
+}

@@ -1,0 +1,299 @@
+package geom
+
+import "math"
+
+// TriTriIntersect reports whether triangles t1 and t2 intersect (share at
+// least one point). It implements Möller's interval-overlap test ("A Fast
+// Triangle-Triangle Intersection Test", 1997) with a coplanar fallback.
+//
+// This is the primitive operation evaluated pairwise in the refinement step
+// of intersection joins; the engine calls it millions of times, so it avoids
+// allocation entirely.
+func TriTriIntersect(t1, t2 Triangle) bool {
+	// Degenerate (zero-area) triangles have no usable plane; the interval
+	// test would misclassify them as coplanar. Since a degenerate triangle
+	// has no interior to penetrate, the feature-pair distance is exact:
+	// they intersect iff it is zero.
+	if t1.IsDegenerate() || t2.IsDegenerate() {
+		return featureDist2(t1, t2) == 0
+	}
+
+	// Plane of t2: n2 · x + d2 = 0.
+	n2 := t2.Normal()
+	d2 := -n2.Dot(t2.A)
+
+	// Signed distances of t1's vertices to t2's plane.
+	du0 := n2.Dot(t1.A) + d2
+	du1 := n2.Dot(t1.B) + d2
+	du2 := n2.Dot(t1.C) + d2
+
+	// Robustness: treat near-zero distances as zero (scaled tolerance).
+	eps := 1e-12 * n2.Len()
+	if math.Abs(du0) < eps {
+		du0 = 0
+	}
+	if math.Abs(du1) < eps {
+		du1 = 0
+	}
+	if math.Abs(du2) < eps {
+		du2 = 0
+	}
+	du0du1 := du0 * du1
+	du0du2 := du0 * du2
+	if du0du1 > 0 && du0du2 > 0 {
+		return false // t1 entirely on one side of t2's plane
+	}
+
+	// Plane of t1.
+	n1 := t1.Normal()
+	d1 := -n1.Dot(t1.A)
+	dv0 := n1.Dot(t2.A) + d1
+	dv1 := n1.Dot(t2.B) + d1
+	dv2 := n1.Dot(t2.C) + d1
+	eps = 1e-12 * n1.Len()
+	if math.Abs(dv0) < eps {
+		dv0 = 0
+	}
+	if math.Abs(dv1) < eps {
+		dv1 = 0
+	}
+	if math.Abs(dv2) < eps {
+		dv2 = 0
+	}
+	dv0dv1 := dv0 * dv1
+	dv0dv2 := dv0 * dv2
+	if dv0dv1 > 0 && dv0dv2 > 0 {
+		return false
+	}
+
+	// Direction of the intersection line of the two planes.
+	dir := n1.Cross(n2)
+
+	if dir.Len2() <= Epsilon*math.Max(n1.Len2(), n2.Len2()) {
+		// Planes are (nearly) parallel. If all plane distances are zero the
+		// triangles are coplanar; otherwise they cannot intersect.
+		if du0 == 0 && du1 == 0 && du2 == 0 {
+			return coplanarTriTri(n1, t1, t2)
+		}
+		return false
+	}
+
+	// Project onto the dominant axis of dir.
+	axis := 0
+	m := math.Abs(dir.X)
+	if math.Abs(dir.Y) > m {
+		axis, m = 1, math.Abs(dir.Y)
+	}
+	if math.Abs(dir.Z) > m {
+		axis = 2
+	}
+
+	vp0 := t1.A.Component(axis)
+	vp1 := t1.B.Component(axis)
+	vp2 := t1.C.Component(axis)
+	up0 := t2.A.Component(axis)
+	up1 := t2.B.Component(axis)
+	up2 := t2.C.Component(axis)
+
+	isect1lo, isect1hi, ok1 := computeIntervals(vp0, vp1, vp2, du0, du1, du2, du0du1, du0du2)
+	if !ok1 {
+		return coplanarTriTri(n1, t1, t2)
+	}
+	isect2lo, isect2hi, ok2 := computeIntervals(up0, up1, up2, dv0, dv1, dv2, dv0dv1, dv0dv2)
+	if !ok2 {
+		return coplanarTriTri(n1, t1, t2)
+	}
+
+	if isect1lo > isect1hi {
+		isect1lo, isect1hi = isect1hi, isect1lo
+	}
+	if isect2lo > isect2hi {
+		isect2lo, isect2hi = isect2hi, isect2lo
+	}
+	return isect1hi >= isect2lo && isect2hi >= isect1lo
+}
+
+// computeIntervals returns the projection interval of a triangle on the
+// plane-intersection line. ok is false when the triangle is coplanar with
+// the other triangle's plane.
+func computeIntervals(vv0, vv1, vv2, d0, d1, d2, d0d1, d0d2 float64) (lo, hi float64, ok bool) {
+	switch {
+	case d0d1 > 0:
+		// d0, d1 same side, d2 on the other (or on the plane).
+		return isectEnd(vv2, vv0, d2, d0), isectEnd(vv2, vv1, d2, d1), true
+	case d0d2 > 0:
+		return isectEnd(vv1, vv0, d1, d0), isectEnd(vv1, vv2, d1, d2), true
+	case d1*d2 > 0 || d0 != 0:
+		return isectEnd(vv0, vv1, d0, d1), isectEnd(vv0, vv2, d0, d2), true
+	case d1 != 0:
+		return isectEnd(vv1, vv0, d1, d0), isectEnd(vv1, vv2, d1, d2), true
+	case d2 != 0:
+		return isectEnd(vv2, vv0, d2, d0), isectEnd(vv2, vv1, d2, d1), true
+	default:
+		return 0, 0, false // coplanar
+	}
+}
+
+// isectEnd computes one endpoint of the projection interval: the crossing
+// parameter between the isolated vertex (v0, plane distance d0) and another
+// vertex (v1, plane distance d1).
+func isectEnd(v0, v1, d0, d1 float64) float64 {
+	return v0 + (v1-v0)*d0/(d0-d1)
+}
+
+// segCrossesFace reports whether segment ab crosses the face of tri
+// (endpoints on opposite sides of the plane, crossing point inside the
+// triangle). Degenerate triangles have no face to cross.
+func segCrossesFace(a, b Vec3, tri Triangle) bool {
+	n := tri.Normal()
+	n2 := n.Len2()
+	if n2 == 0 {
+		return false
+	}
+	da := n.Dot(a.Sub(tri.A))
+	db := n.Dot(b.Sub(tri.A))
+	if da*db > 0 || da == db {
+		return false
+	}
+	p := a.Lerp(b, da/(da-db))
+	return tri.ClosestPointToPoint(p).Dist2(p) <= 1e-24*n2
+}
+
+// coplanarTriTri handles the coplanar case: project both triangles onto the
+// dominant plane of n and run 2D edge tests plus containment checks.
+func coplanarTriTri(n Vec3, t1, t2 Triangle) bool {
+	// Choose projection axes: drop the dominant normal component.
+	var i0, i1 int
+	ax, ay, az := math.Abs(n.X), math.Abs(n.Y), math.Abs(n.Z)
+	switch {
+	case ax >= ay && ax >= az:
+		i0, i1 = 1, 2
+	case ay >= az:
+		i0, i1 = 0, 2
+	default:
+		i0, i1 = 0, 1
+	}
+
+	p := [3][2]float64{
+		{t1.A.Component(i0), t1.A.Component(i1)},
+		{t1.B.Component(i0), t1.B.Component(i1)},
+		{t1.C.Component(i0), t1.C.Component(i1)},
+	}
+	q := [3][2]float64{
+		{t2.A.Component(i0), t2.A.Component(i1)},
+		{t2.B.Component(i0), t2.B.Component(i1)},
+		{t2.C.Component(i0), t2.C.Component(i1)},
+	}
+
+	// Any pair of edges crossing?
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if segSeg2D(p[i], p[(i+1)%3], q[j], q[(j+1)%3]) {
+				return true
+			}
+		}
+	}
+	// One triangle fully inside the other?
+	return pointInTri2D(p[0], q) || pointInTri2D(q[0], p)
+}
+
+func segSeg2D(a, b, c, d [2]float64) bool {
+	d1 := cross2D(c, d, a)
+	d2 := cross2D(c, d, b)
+	d3 := cross2D(a, b, c)
+	d4 := cross2D(a, b, d)
+	if ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+		((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0)) {
+		return true
+	}
+	if d1 == 0 && onSeg2D(c, d, a) {
+		return true
+	}
+	if d2 == 0 && onSeg2D(c, d, b) {
+		return true
+	}
+	if d3 == 0 && onSeg2D(a, b, c) {
+		return true
+	}
+	if d4 == 0 && onSeg2D(a, b, d) {
+		return true
+	}
+	return false
+}
+
+func cross2D(a, b, p [2]float64) float64 {
+	return (b[0]-a[0])*(p[1]-a[1]) - (b[1]-a[1])*(p[0]-a[0])
+}
+
+func onSeg2D(a, b, p [2]float64) bool {
+	return math.Min(a[0], b[0]) <= p[0] && p[0] <= math.Max(a[0], b[0]) &&
+		math.Min(a[1], b[1]) <= p[1] && p[1] <= math.Max(a[1], b[1])
+}
+
+func pointInTri2D(p [2]float64, t [3][2]float64) bool {
+	d1 := cross2D(t[0], t[1], p)
+	d2 := cross2D(t[1], t[2], p)
+	d3 := cross2D(t[2], t[0], p)
+	hasNeg := d1 < 0 || d2 < 0 || d3 < 0
+	hasPos := d1 > 0 || d2 > 0 || d3 > 0
+	return !(hasNeg && hasPos)
+}
+
+// TriTriDist returns the minimum distance between two triangles. It is zero
+// when they intersect. The computation examines the 6 vertex-to-triangle and
+// 9 edge-to-edge candidate pairs, matching the classical approach the paper
+// inherits for its distance refinements.
+func TriTriDist(t1, t2 Triangle) float64 {
+	return math.Sqrt(TriTriDist2(t1, t2))
+}
+
+// TriTriDist2 returns the squared minimum distance between two triangles.
+func TriTriDist2(t1, t2 Triangle) float64 {
+	if TriTriIntersect(t1, t2) {
+		return 0
+	}
+	return featureDist2(t1, t2)
+}
+
+// featureDist2 returns the minimum squared distance over the 6
+// vertex-triangle and 9 edge-edge feature pairs, plus an explicit
+// edge-through-face crossing test. The crossing test is what makes the
+// result exact even for degenerate inputs: a needle triangle can pierce
+// the other triangle's interior without any vertex or edge pair coming
+// close.
+func featureDist2(t1, t2 Triangle) float64 {
+	for i := 0; i < 3; i++ {
+		if segCrossesFace(t1.Vertex(i), t1.Vertex((i+1)%3), t2) ||
+			segCrossesFace(t2.Vertex(i), t2.Vertex((i+1)%3), t1) {
+			return 0
+		}
+	}
+	best := math.Inf(1)
+
+	// Vertices of t1 against t2 and vice versa.
+	for i := 0; i < 3; i++ {
+		v := t1.Vertex(i)
+		d := t2.ClosestPointToPoint(v).Dist2(v)
+		if d < best {
+			best = d
+		}
+		w := t2.Vertex(i)
+		d = t1.ClosestPointToPoint(w).Dist2(w)
+		if d < best {
+			best = d
+		}
+	}
+
+	// All 9 edge pairs.
+	for i := 0; i < 3; i++ {
+		e1 := Segment{t1.Vertex(i), t1.Vertex((i + 1) % 3)}
+		for j := 0; j < 3; j++ {
+			e2 := Segment{t2.Vertex(j), t2.Vertex((j + 1) % 3)}
+			_, _, d := e1.ClosestPoints(e2)
+			if d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,180 @@
+package gpusim
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/mesh"
+)
+
+func TestIntersectsMatchesBrute(t *testing.T) {
+	dev := New(4, 64)
+	defer dev.Close()
+	rng := rand.New(rand.NewSource(1))
+
+	for trial := 0; trial < 30; trial++ {
+		a := mesh.Icosphere(3, 1).Triangles()
+		b := mesh.Icosphere(3, 1).Triangles()
+		shift := geom.V(float64(trial)*0.4, 0, 0)
+		for i := range b {
+			b[i].A = b[i].A.Add(shift)
+			b[i].B = b[i].B.Add(shift)
+			b[i].C = b[i].C.Add(shift)
+		}
+		_ = rng
+		want := false
+	outer:
+		for _, x := range a {
+			for _, y := range b {
+				if geom.TriTriIntersect(x, y) {
+					want = true
+					break outer
+				}
+			}
+		}
+		if got := dev.Intersects(a, b); got != want {
+			t.Fatalf("trial %d: got %v, want %v", trial, got, want)
+		}
+	}
+}
+
+func TestMinDistMatchesBrute(t *testing.T) {
+	dev := New(4, 128)
+	defer dev.Close()
+
+	for _, shift := range []float64{8, 12, 20} {
+		a := mesh.Icosphere(3, 1).Triangles()
+		b := mesh.Icosphere(3, 1).Triangles()
+		for i := range b {
+			b[i].A.X += shift
+			b[i].B.X += shift
+			b[i].C.X += shift
+		}
+		want := math.Inf(1)
+		for _, x := range a {
+			for _, y := range b {
+				if d := geom.TriTriDist2(x, y); d < want {
+					want = d
+				}
+			}
+		}
+		want = math.Sqrt(want)
+		if got := dev.MinDist(a, b); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("shift %v: got %v, want %v", shift, got, want)
+		}
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	dev := New(2, 0)
+	defer dev.Close()
+	tris := mesh.Icosphere(1, 0).Triangles()
+	if dev.Intersects(nil, tris) || dev.Intersects(tris, nil) {
+		t.Error("empty input intersects")
+	}
+	if !math.IsInf(dev.MinDist(nil, tris), 1) {
+		t.Error("empty MinDist not +Inf")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	dev := New(2, 32)
+	defer dev.Close()
+	a := mesh.Icosphere(1, 1).Triangles()
+	b := mesh.Icosphere(1, 1).Triangles()
+	for i := range b {
+		b[i].A.X += 10
+		b[i].B.X += 10
+		b[i].C.X += 10
+	}
+	dev.MinDist(a, b)
+	if dev.KernelLaunches() == 0 {
+		t.Error("no kernel launches recorded")
+	}
+	if got := dev.PairsEvaluated(); got != int64(len(a)*len(b)) {
+		t.Errorf("pairs evaluated = %d, want %d", got, len(a)*len(b))
+	}
+}
+
+func TestBoundedMinDist(t *testing.T) {
+	dev := New(2, 64)
+	defer dev.Close()
+	a := mesh.Icosphere(2, 1).Triangles()
+	b := mesh.Icosphere(2, 1).Triangles()
+	for i := range b {
+		b[i].A.X += 9
+		b[i].B.X += 9
+		b[i].C.X += 9
+	}
+	unbounded := dev.MinDist2Bounded(a, b, math.Inf(1))
+	bounded := dev.MinDist2Bounded(a, b, unbounded*4)
+	if math.Abs(unbounded-bounded) > 1e-9 {
+		t.Errorf("bounded %v != unbounded %v", bounded, unbounded)
+	}
+	// An upper bound below the true distance is returned unchanged.
+	tight := dev.MinDist2Bounded(a, b, unbounded/4)
+	if tight > unbounded/4+1e-12 {
+		t.Errorf("tight bound grew: %v", tight)
+	}
+}
+
+func TestConcurrentLaunches(t *testing.T) {
+	dev := New(4, 64)
+	defer dev.Close()
+	a := mesh.Icosphere(2, 2).Triangles()
+	b := mesh.Icosphere(2, 2).Triangles()
+	for i := range b {
+		b[i].A.X += 7
+		b[i].B.X += 7
+		b[i].C.X += 7
+	}
+	want := dev.MinDist(a, b)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if got := dev.MinDist(a, b); math.Abs(got-want) > 1e-9 {
+				errs <- errMismatch
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for range errs {
+		t.Fatal("concurrent MinDist mismatch")
+	}
+}
+
+var errMismatch = &mismatchError{}
+
+type mismatchError struct{}
+
+func (*mismatchError) Error() string { return "mismatch" }
+
+func TestCloseIdempotent(t *testing.T) {
+	dev := New(1, 16)
+	dev.Close()
+	dev.Close() // must not panic
+}
+
+func BenchmarkDeviceMinDist(b *testing.B) {
+	dev := New(0, 0)
+	defer dev.Close()
+	x := mesh.Icosphere(3, 3).Triangles()
+	y := mesh.Icosphere(3, 3).Triangles()
+	for i := range y {
+		y[i].A.X += 10
+		y[i].B.X += 10
+		y[i].C.X += 10
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dev.MinDist(x, y)
+	}
+}

@@ -1,0 +1,251 @@
+package aabbtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/mesh"
+)
+
+func randomTris(rng *rand.Rand, n int, space, size float64) []geom.Triangle {
+	tris := make([]geom.Triangle, n)
+	for i := range tris {
+		base := geom.V(rng.Float64()*space, rng.Float64()*space, rng.Float64()*space)
+		r := func() geom.Vec3 {
+			return base.Add(geom.V(rng.Float64()*size, rng.Float64()*size, rng.Float64()*size))
+		}
+		tris[i] = geom.Tri(r(), r(), r())
+	}
+	return tris
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := Build(nil)
+	if tr.NumTriangles() != 0 {
+		t.Error("NumTriangles != 0")
+	}
+	if !tr.Bounds().IsEmpty() {
+		t.Error("Bounds not empty")
+	}
+	if tr.IntersectsTriangle(geom.Tri(geom.V(0, 0, 0), geom.V(1, 0, 0), geom.V(0, 1, 0))) {
+		t.Error("intersection in empty tree")
+	}
+	if !math.IsInf(tr.DistToTree(Build(nil)), 1) {
+		t.Error("distance between empty trees should be +Inf")
+	}
+	if tr.ContainsPoint(geom.V(0, 0, 0)) {
+		t.Error("point inside empty tree")
+	}
+}
+
+func TestIntersectsTriangleMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tris := randomTris(rng, 300, 20, 2)
+	tr := Build(tris)
+	if tr.NumTriangles() != 300 {
+		t.Fatalf("NumTriangles = %d", tr.NumTriangles())
+	}
+
+	for trial := 0; trial < 200; trial++ {
+		base := geom.V(rng.Float64()*20, rng.Float64()*20, rng.Float64()*20)
+		q := geom.Tri(base,
+			base.Add(geom.V(rng.Float64()*3, rng.Float64()*3, rng.Float64()*3)),
+			base.Add(geom.V(rng.Float64()*3, rng.Float64()*3, rng.Float64()*3)))
+
+		want := false
+		for _, x := range tris {
+			if geom.TriTriIntersect(x, q) {
+				want = true
+				break
+			}
+		}
+		if got := tr.IntersectsTriangle(q); got != want {
+			t.Fatalf("trial %d: got %v, want %v", trial, got, want)
+		}
+	}
+}
+
+func TestIntersectsTreeMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 40; trial++ {
+		a := randomTris(rng, 60, 10, 2)
+		// Shift the second set progressively further away so both outcomes occur.
+		shift := float64(trial) * 0.5
+		b := randomTris(rng, 60, 10, 2)
+		for i := range b {
+			b[i].A.X += shift
+			b[i].B.X += shift
+			b[i].C.X += shift
+		}
+		want := false
+	outer:
+		for _, x := range a {
+			for _, y := range b {
+				if geom.TriTriIntersect(x, y) {
+					want = true
+					break outer
+				}
+			}
+		}
+		ta, tb := Build(a), Build(b)
+		if got := ta.IntersectsTree(tb); got != want {
+			t.Fatalf("trial %d: got %v, want %v", trial, got, want)
+		}
+		if got := tb.IntersectsTree(ta); got != want {
+			t.Fatalf("trial %d (sym): got %v, want %v", trial, got, want)
+		}
+	}
+}
+
+func TestDistToTreeMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		a := randomTris(rng, 50, 10, 2)
+		b := randomTris(rng, 50, 10, 2)
+		shift := 5 + float64(trial)
+		for i := range b {
+			b[i].A.X += shift
+			b[i].B.X += shift
+			b[i].C.X += shift
+		}
+		want := math.Inf(1)
+		for _, x := range a {
+			for _, y := range b {
+				if d := geom.TriTriDist2(x, y); d < want {
+					want = d
+				}
+			}
+		}
+		want = math.Sqrt(want)
+		got := Build(a).DistToTree(Build(b))
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: got %v, want %v", trial, got, want)
+		}
+	}
+}
+
+func TestDistToTriangle(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tris := randomTris(rng, 100, 10, 2)
+	tr := Build(tris)
+	for trial := 0; trial < 50; trial++ {
+		base := geom.V(rng.Float64()*30-10, rng.Float64()*30-10, rng.Float64()*30-10)
+		q := geom.Tri(base, base.Add(geom.V(1, 0, 0)), base.Add(geom.V(0, 1, 0)))
+		want := math.Inf(1)
+		for _, x := range tris {
+			if d := geom.TriTriDist2(x, q); d < want {
+				want = d
+			}
+		}
+		want = math.Sqrt(want)
+		got := tr.DistToTriangle(q, math.Inf(1))
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+		// With a tight upper bound the result is still correct when the
+		// bound is not smaller than the true distance.
+		got2 := tr.DistToTriangle(q, want*1.001+1e-9)
+		if math.Abs(got2-want) > 1e-9 {
+			t.Fatalf("bounded: got %v, want %v", got2, want)
+		}
+	}
+}
+
+func TestContainsPointSphere(t *testing.T) {
+	m := mesh.Icosphere(5, 3)
+	tr := Build(m.Triangles())
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 3000; i++ {
+		p := geom.V(rng.Float64()*12-6, rng.Float64()*12-6, rng.Float64()*12-6)
+		r := p.Len()
+		if r > 4.99 && r < 5.01 {
+			continue // too close to the surface
+		}
+		want := geom.PointInTriangles(p, m.Triangles())
+		if got := tr.ContainsPoint(p); got != want {
+			t.Fatalf("point %v: tree=%v brute=%v", p, got, want)
+		}
+	}
+}
+
+func TestTriangleAccessor(t *testing.T) {
+	tris := []geom.Triangle{geom.Tri(geom.V(0, 0, 0), geom.V(1, 0, 0), geom.V(0, 1, 0))}
+	tr := Build(tris)
+	if tr.Triangle(0) != tris[0] {
+		t.Error("Triangle(0) mismatch")
+	}
+	// Build must not retain the caller's slice.
+	tris[0].A = geom.V(9, 9, 9)
+	if tr.Triangle(0).A == tris[0].A {
+		t.Error("Build retained input slice")
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	m := mesh.Icosphere(5, 4) // 5120 faces
+	tris := m.Triangles()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(tris)
+	}
+}
+
+func BenchmarkDistToTree(b *testing.B) {
+	a := mesh.Icosphere(5, 3)
+	c := mesh.Icosphere(5, 3)
+	c.Translate(geom.V(15, 3, 1))
+	ta, tc := Build(a.Triangles()), Build(c.Triangles())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ta.DistToTree(tc)
+	}
+}
+
+func BenchmarkIntersectsTree(b *testing.B) {
+	a := mesh.Icosphere(5, 3)
+	c := mesh.Icosphere(5, 3)
+	c.Translate(geom.V(7, 0, 0))
+	ta, tc := Build(a.Triangles()), Build(c.Triangles())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ta.IntersectsTree(tc)
+	}
+}
+
+func TestContainsPointMultiComponent(t *testing.T) {
+	// Multi-component surfaces (like the vessel tube unions) must keep
+	// containment parity working: build two disjoint cubes as one mesh.
+	c1 := mesh.Cube(geom.V(0, 0, 0), geom.V(2, 2, 2))
+	c2 := mesh.Cube(geom.V(5, 0, 0), geom.V(8, 3, 3))
+	v := c1.Clone()
+	off := int32(len(v.Vertices))
+	v.Vertices = append(v.Vertices, c2.Vertices...)
+	for _, f := range c2.Faces {
+		v.Faces = append(v.Faces, mesh.Face{f[0] + off, f[1] + off, f[2] + off})
+	}
+	tr := Build(v.Triangles())
+	rng := rand.New(rand.NewSource(8))
+	b := v.Bounds().Expand(1)
+	tris := v.Triangles()
+	agree, total := 0, 0
+	for i := 0; i < 1500; i++ {
+		p := geom.V(
+			b.Min.X+rng.Float64()*b.Size().X,
+			b.Min.Y+rng.Float64()*b.Size().Y,
+			b.Min.Z+rng.Float64()*b.Size().Z,
+		)
+		want := geom.PointInTriangles(p, tris)
+		got := tr.ContainsPoint(p)
+		total++
+		if got == want {
+			agree++
+		} else {
+			t.Fatalf("point %v: tree=%v brute=%v", p, got, want)
+		}
+	}
+	if total == 0 || agree != total {
+		t.Fatalf("agreement %d/%d", agree, total)
+	}
+}

@@ -1,0 +1,150 @@
+package mesh
+
+import "sort"
+
+// EdgeKey identifies an undirected edge by its sorted vertex pair.
+type EdgeKey struct {
+	Lo, Hi int32
+}
+
+// MakeEdgeKey returns the canonical key for the edge {a, b}.
+func MakeEdgeKey(a, b int32) EdgeKey {
+	if a > b {
+		a, b = b, a
+	}
+	return EdgeKey{a, b}
+}
+
+// Adjacency holds the connectivity structures needed for decimation and
+// validation: incident faces per vertex and per edge.
+type Adjacency struct {
+	// VertexFaces[v] lists the indices of faces incident to vertex v.
+	VertexFaces [][]int32
+	// EdgeFaces maps each undirected edge to the faces sharing it.
+	EdgeFaces map[EdgeKey][]int32
+}
+
+// BuildAdjacency computes the adjacency structures of m.
+func BuildAdjacency(m *Mesh) *Adjacency {
+	a := &Adjacency{
+		VertexFaces: make([][]int32, len(m.Vertices)),
+		EdgeFaces:   make(map[EdgeKey][]int32, 3*len(m.Faces)/2+1),
+	}
+	for fi, f := range m.Faces {
+		for k := 0; k < 3; k++ {
+			v := f[k]
+			a.VertexFaces[v] = append(a.VertexFaces[v], int32(fi))
+			e := MakeEdgeKey(f[k], f[(k+1)%3])
+			a.EdgeFaces[e] = append(a.EdgeFaces[e], int32(fi))
+		}
+	}
+	return a
+}
+
+// VertexDegree returns the number of faces incident to v.
+func (a *Adjacency) VertexDegree(v int32) int { return len(a.VertexFaces[v]) }
+
+// OneRing returns the ordered cycle of neighbor vertices around v, walking
+// the incident faces in CCW order as seen from outside. ok is false when the
+// neighborhood is not a simple disk (non-manifold, boundary, or a duplicated
+// neighbor), in which case v must not be removed by decimation.
+//
+// For a face (v, a, b) the ring contributes the directed edge a→b; chaining
+// these directed edges yields the ring in consistent CCW orientation.
+func (a *Adjacency) OneRing(m *Mesh, v int32) (ring []int32, ok bool) {
+	faces := a.VertexFaces[v]
+	if len(faces) < 3 {
+		return nil, false
+	}
+	next := make(map[int32]int32, len(faces))
+	for _, fi := range faces {
+		f := m.Faces[fi]
+		var from, to int32
+		switch v {
+		case f[0]:
+			from, to = f[1], f[2]
+		case f[1]:
+			from, to = f[2], f[0]
+		default:
+			from, to = f[0], f[1]
+		}
+		if _, dup := next[from]; dup {
+			return nil, false // non-manifold fan
+		}
+		next[from] = to
+	}
+	// Chain the directed edges into a single cycle.
+	start := m.Faces[faces[0]].otherFirst(v)
+	ring = make([]int32, 0, len(faces))
+	cur := start
+	for i := 0; i < len(faces); i++ {
+		ring = append(ring, cur)
+		n, exists := next[cur]
+		if !exists {
+			return nil, false // open fan (boundary vertex)
+		}
+		cur = n
+	}
+	if cur != start {
+		return nil, false // edges do not close into one cycle
+	}
+	// All neighbors must be distinct.
+	seen := make(map[int32]bool, len(ring))
+	for _, r := range ring {
+		if seen[r] {
+			return nil, false
+		}
+		seen[r] = true
+	}
+	return ring, true
+}
+
+// otherFirst returns the ring-edge source vertex of face f relative to v
+// (the vertex after v in CCW order).
+func (f Face) otherFirst(v int32) int32 {
+	switch v {
+	case f[0]:
+		return f[1]
+	case f[1]:
+		return f[2]
+	default:
+		return f[0]
+	}
+}
+
+// Edges returns all undirected edges of the mesh, sorted for determinism.
+func (m *Mesh) Edges() []EdgeKey {
+	set := make(map[EdgeKey]struct{}, 3*len(m.Faces)/2+1)
+	for _, f := range m.Faces {
+		for k := 0; k < 3; k++ {
+			set[MakeEdgeKey(f[k], f[(k+1)%3])] = struct{}{}
+		}
+	}
+	edges := make([]EdgeKey, 0, len(set))
+	for e := range set {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].Lo != edges[j].Lo {
+			return edges[i].Lo < edges[j].Lo
+		}
+		return edges[i].Hi < edges[j].Hi
+	})
+	return edges
+}
+
+// VertexNeighbors returns the set of vertices sharing an edge with v
+// (unordered, deduplicated).
+func (a *Adjacency) VertexNeighbors(m *Mesh, v int32) []int32 {
+	seen := map[int32]bool{}
+	var out []int32
+	for _, fi := range a.VertexFaces[v] {
+		for _, w := range m.Faces[fi] {
+			if w != v && !seen[w] {
+				seen[w] = true
+				out = append(out, w)
+			}
+		}
+	}
+	return out
+}

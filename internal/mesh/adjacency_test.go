@@ -1,0 +1,134 @@
+package mesh
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestBuildAdjacencyCube(t *testing.T) {
+	m := Cube(geom.V(0, 0, 0), geom.V(1, 1, 1))
+	a := BuildAdjacency(m)
+
+	// 12 edges on a cube surface... actually a triangulated cube has
+	// 12 quad-diagonal edges: V=8, F=12, so E = V+F-2 = 18.
+	if got := len(a.EdgeFaces); got != 18 {
+		t.Errorf("edge count = %d, want 18", got)
+	}
+	for e, faces := range a.EdgeFaces {
+		if len(faces) != 2 {
+			t.Errorf("edge %v has %d faces, want 2", e, len(faces))
+		}
+	}
+	// Total vertex-face incidences = 3 × faces.
+	var inc int
+	for _, fs := range a.VertexFaces {
+		inc += len(fs)
+	}
+	if inc != 3*m.NumFaces() {
+		t.Errorf("incidences = %d, want %d", inc, 3*m.NumFaces())
+	}
+}
+
+func TestOneRingIcosahedron(t *testing.T) {
+	m := Icosahedron(1)
+	a := BuildAdjacency(m)
+	for v := int32(0); v < int32(m.NumVertices()); v++ {
+		ring, ok := a.OneRing(m, v)
+		if !ok {
+			t.Fatalf("vertex %d: one-ring failed", v)
+		}
+		if len(ring) != 5 {
+			t.Errorf("vertex %d: ring size %d, want 5", v, len(ring))
+		}
+		// Each consecutive ring pair must share an edge with v via a face.
+		for i := range ring {
+			j := (i + 1) % len(ring)
+			key := MakeEdgeKey(ring[i], ring[j])
+			if _, exists := a.EdgeFaces[key]; !exists {
+				t.Errorf("vertex %d: ring edge %v-%v not in mesh", v, ring[i], ring[j])
+			}
+		}
+		// Ring must not contain v or duplicates.
+		seen := map[int32]bool{}
+		for _, r := range ring {
+			if r == v {
+				t.Errorf("vertex %d appears in its own ring", v)
+			}
+			if seen[r] {
+				t.Errorf("vertex %d: duplicate ring member %d", v, r)
+			}
+			seen[r] = true
+		}
+	}
+}
+
+func TestOneRingOrientation(t *testing.T) {
+	// The ring of a sphere vertex, walked in order, should wind CCW when
+	// viewed from outside: the polygon normal should point away from the
+	// center (positive dot with the vertex direction).
+	m := Icosphere(1, 1)
+	a := BuildAdjacency(m)
+	for v := int32(0); v < int32(m.NumVertices()); v++ {
+		ring, ok := a.OneRing(m, v)
+		if !ok {
+			t.Fatalf("vertex %d: one-ring failed", v)
+		}
+		var normal geom.Vec3
+		p0 := m.Vertices[ring[0]]
+		for i := 1; i+1 < len(ring); i++ {
+			e1 := m.Vertices[ring[i]].Sub(p0)
+			e2 := m.Vertices[ring[i+1]].Sub(p0)
+			normal = normal.Add(e1.Cross(e2))
+		}
+		if normal.Dot(m.Vertices[v]) <= 0 {
+			t.Errorf("vertex %d: ring winds the wrong way", v)
+		}
+	}
+}
+
+func TestOneRingRejectsBoundary(t *testing.T) {
+	// A single triangle's vertices have open fans.
+	m := &Mesh{
+		Vertices: []geom.Vec3{geom.V(0, 0, 0), geom.V(1, 0, 0), geom.V(0, 1, 0)},
+		Faces:    []Face{{0, 1, 2}},
+	}
+	a := BuildAdjacency(m)
+	if _, ok := a.OneRing(m, 0); ok {
+		t.Error("boundary vertex should not yield a one-ring")
+	}
+}
+
+func TestVertexNeighbors(t *testing.T) {
+	m := Tetrahedron(1)
+	a := BuildAdjacency(m)
+	for v := int32(0); v < 4; v++ {
+		nbrs := a.VertexNeighbors(m, v)
+		if len(nbrs) != 3 {
+			t.Errorf("vertex %d: %d neighbors, want 3", v, len(nbrs))
+		}
+	}
+}
+
+func TestEdgesSorted(t *testing.T) {
+	m := Icosahedron(1)
+	edges := m.Edges()
+	if len(edges) != 30 {
+		t.Errorf("icosahedron edges = %d, want 30", len(edges))
+	}
+	for i := 1; i < len(edges); i++ {
+		a, b := edges[i-1], edges[i]
+		if a.Lo > b.Lo || (a.Lo == b.Lo && a.Hi >= b.Hi) {
+			t.Fatal("edges not strictly sorted")
+		}
+	}
+}
+
+func TestMakeEdgeKeyCanonical(t *testing.T) {
+	if MakeEdgeKey(5, 2) != MakeEdgeKey(2, 5) {
+		t.Error("edge key not canonical")
+	}
+	if k := MakeEdgeKey(2, 5); k.Lo != 2 || k.Hi != 5 {
+		t.Errorf("key = %v", k)
+	}
+}

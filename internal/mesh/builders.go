@@ -1,0 +1,236 @@
+package mesh
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Tetrahedron returns a regular tetrahedron with the given circumradius,
+// centered at the origin, consistently wound outward.
+func Tetrahedron(r float64) *Mesh {
+	s := r / math.Sqrt(3)
+	v := []geom.Vec3{
+		geom.V(s, s, s),
+		geom.V(s, -s, -s),
+		geom.V(-s, s, -s),
+		geom.V(-s, -s, s),
+	}
+	m := &Mesh{
+		Vertices: v,
+		Faces: []Face{
+			{0, 1, 2},
+			{0, 3, 1},
+			{0, 2, 3},
+			{1, 3, 2},
+		},
+	}
+	return m
+}
+
+// Cube returns the axis-aligned cube [min, max]^3 triangulated into 12 faces
+// with outward orientation.
+func Cube(min, max geom.Vec3) *Mesh {
+	v := []geom.Vec3{
+		geom.V(min.X, min.Y, min.Z), geom.V(max.X, min.Y, min.Z),
+		geom.V(max.X, max.Y, min.Z), geom.V(min.X, max.Y, min.Z),
+		geom.V(min.X, min.Y, max.Z), geom.V(max.X, min.Y, max.Z),
+		geom.V(max.X, max.Y, max.Z), geom.V(min.X, max.Y, max.Z),
+	}
+	quads := [][4]int32{
+		{3, 2, 1, 0}, // bottom (-Z)
+		{4, 5, 6, 7}, // top (+Z)
+		{0, 1, 5, 4}, // front (-Y)
+		{2, 3, 7, 6}, // back (+Y)
+		{1, 2, 6, 5}, // right (+X)
+		{3, 0, 4, 7}, // left (-X)
+	}
+	m := &Mesh{Vertices: v}
+	for _, q := range quads {
+		m.Faces = append(m.Faces, Face{q[0], q[1], q[2]}, Face{q[0], q[2], q[3]})
+	}
+	return m
+}
+
+// Icosahedron returns a regular icosahedron with the given circumradius,
+// centered at the origin.
+func Icosahedron(r float64) *Mesh {
+	phi := (1 + math.Sqrt(5)) / 2
+	n := math.Sqrt(1 + phi*phi)
+	a, b := r/n, r*phi/n
+	v := []geom.Vec3{
+		geom.V(-a, b, 0), geom.V(a, b, 0), geom.V(-a, -b, 0), geom.V(a, -b, 0),
+		geom.V(0, -a, b), geom.V(0, a, b), geom.V(0, -a, -b), geom.V(0, a, -b),
+		geom.V(b, 0, -a), geom.V(b, 0, a), geom.V(-b, 0, -a), geom.V(-b, 0, a),
+	}
+	f := []Face{
+		{0, 11, 5}, {0, 5, 1}, {0, 1, 7}, {0, 7, 10}, {0, 10, 11},
+		{1, 5, 9}, {5, 11, 4}, {11, 10, 2}, {10, 7, 6}, {7, 1, 8},
+		{3, 9, 4}, {3, 4, 2}, {3, 2, 6}, {3, 6, 8}, {3, 8, 9},
+		{4, 9, 5}, {2, 4, 11}, {6, 2, 10}, {8, 6, 7}, {9, 8, 1},
+	}
+	return &Mesh{Vertices: v, Faces: f}
+}
+
+// Icosphere returns a unit-sphere approximation of radius r produced by
+// subdividing an icosahedron `level` times: level 0 has 20 faces, each
+// level quadruples the face count (level 2 → 320 faces, the nucleus regime
+// from the paper).
+func Icosphere(r float64, level int) *Mesh {
+	m := Icosahedron(1)
+	for i := 0; i < level; i++ {
+		m = subdivide(m)
+		// Re-project onto the unit sphere.
+		for j, v := range m.Vertices {
+			m.Vertices[j] = v.Normalize()
+		}
+	}
+	m.Scale(r)
+	return m
+}
+
+// subdivide splits every face into 4 by inserting edge midpoints.
+func subdivide(m *Mesh) *Mesh {
+	out := &Mesh{Vertices: append([]geom.Vec3(nil), m.Vertices...)}
+	mid := make(map[EdgeKey]int32, 3*len(m.Faces)/2)
+	midpoint := func(a, b int32) int32 {
+		key := MakeEdgeKey(a, b)
+		if idx, ok := mid[key]; ok {
+			return idx
+		}
+		idx := int32(len(out.Vertices))
+		out.Vertices = append(out.Vertices, m.Vertices[a].Lerp(m.Vertices[b], 0.5))
+		mid[key] = idx
+		return idx
+	}
+	for _, f := range m.Faces {
+		ab := midpoint(f[0], f[1])
+		bc := midpoint(f[1], f[2])
+		ca := midpoint(f[2], f[0])
+		out.Faces = append(out.Faces,
+			Face{f[0], ab, ca},
+			Face{f[1], bc, ab},
+			Face{f[2], ca, bc},
+			Face{ab, bc, ca},
+		)
+	}
+	return out
+}
+
+// Ellipsoid deforms an icosphere into an ellipsoid with semi-axes (a, b, c).
+func Ellipsoid(a, b, c float64, level int) *Mesh {
+	m := Icosphere(1, level)
+	for i, v := range m.Vertices {
+		m.Vertices[i] = geom.V(v.X*a, v.Y*b, v.Z*c)
+	}
+	return m
+}
+
+// Tube builds a closed triangulated tube around the polyline `path` with
+// per-point radii. `segments` vertices are placed on each cross-section
+// ring; the two ends are closed with vertex fans. The result is a closed
+// 2-manifold as long as the path does not self-intersect.
+func Tube(path []geom.Vec3, radii []float64, segments int) *Mesh {
+	if len(path) != len(radii) || segments < 3 {
+		return nil
+	}
+	// Drop (near-)duplicate consecutive path points: they would collapse
+	// cross-section rings into degenerate faces.
+	var cleanPath []geom.Vec3
+	var cleanRadii []float64
+	for i, p := range path {
+		if i > 0 {
+			prev := cleanPath[len(cleanPath)-1]
+			if p.Dist(prev) <= 1e-9*(1+p.Len()+prev.Len()) {
+				continue
+			}
+		}
+		cleanPath = append(cleanPath, p)
+		cleanRadii = append(cleanRadii, radii[i])
+	}
+	path, radii = cleanPath, cleanRadii
+	if len(path) < 2 {
+		return nil
+	}
+	m := &Mesh{}
+
+	// A stable frame along the path: pick any normal for the first segment,
+	// then parallel-transport it.
+	dir := path[1].Sub(path[0]).Normalize()
+	normal := perpendicular(dir)
+
+	rings := make([][]int32, len(path))
+	for i, p := range path {
+		var d geom.Vec3
+		switch {
+		case i == 0:
+			d = path[1].Sub(path[0])
+		case i == len(path)-1:
+			d = path[i].Sub(path[i-1])
+		default:
+			d = path[i+1].Sub(path[i-1])
+		}
+		d = d.Normalize()
+		// Parallel transport: remove the component of normal along d.
+		normal = normal.Sub(d.Mul(normal.Dot(d))).Normalize()
+		if normal.Len2() < 0.5 { // degenerate transport, re-seed
+			normal = perpendicular(d)
+		}
+		binormal := d.Cross(normal).Normalize()
+
+		ring := make([]int32, segments)
+		for s := 0; s < segments; s++ {
+			theta := 2 * math.Pi * float64(s) / float64(segments)
+			offset := normal.Mul(math.Cos(theta) * radii[i]).Add(binormal.Mul(math.Sin(theta) * radii[i]))
+			ring[s] = int32(len(m.Vertices))
+			m.Vertices = append(m.Vertices, p.Add(offset))
+		}
+		rings[i] = ring
+	}
+
+	// Side quads between consecutive rings.
+	for i := 0; i+1 < len(rings); i++ {
+		r0, r1 := rings[i], rings[i+1]
+		for s := 0; s < segments; s++ {
+			s2 := (s + 1) % segments
+			// Outward orientation: with CCW rings seen along +d, winding
+			// (r0[s], r0[s2], r1[s2]) faces outward.
+			m.Faces = append(m.Faces,
+				Face{r0[s], r0[s2], r1[s2]},
+				Face{r0[s], r1[s2], r1[s]},
+			)
+		}
+	}
+
+	// End caps: fan from the path endpoints.
+	capStart := int32(len(m.Vertices))
+	m.Vertices = append(m.Vertices, path[0])
+	for s := 0; s < segments; s++ {
+		s2 := (s + 1) % segments
+		m.Faces = append(m.Faces, Face{capStart, rings[0][s2], rings[0][s]})
+	}
+	capEnd := int32(len(m.Vertices))
+	m.Vertices = append(m.Vertices, path[len(path)-1])
+	last := rings[len(rings)-1]
+	for s := 0; s < segments; s++ {
+		s2 := (s + 1) % segments
+		m.Faces = append(m.Faces, Face{capEnd, last[s], last[s2]})
+	}
+
+	// Orientation sanity: enclosed volume must be positive; flip if not.
+	if m.Volume() < 0 {
+		for i, f := range m.Faces {
+			m.Faces[i] = Face{f[0], f[2], f[1]}
+		}
+	}
+	return m
+}
+
+// perpendicular returns an arbitrary unit vector perpendicular to d.
+func perpendicular(d geom.Vec3) geom.Vec3 {
+	ref := geom.V(0, 0, 1)
+	if math.Abs(d.Z) > 0.9 {
+		ref = geom.V(1, 0, 0)
+	}
+	return d.Cross(ref).Normalize()
+}

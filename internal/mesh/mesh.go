@@ -1,0 +1,152 @@
+// Package mesh implements the polygonal-model substrate of 3DPro: indexed
+// triangle meshes (polyhedrons), adjacency queries, manifold validation,
+// surface measures, and OFF-format I/O.
+//
+// A polyhedron in the sense of the paper is a closed, orientable triangle
+// mesh with CCW-ordered faces (outer side determined by the right-hand
+// rule) and no unnecessary edge junctions.
+package mesh
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// Face is a triangle referencing three vertex indices in CCW order as seen
+// from outside the polyhedron.
+type Face [3]int32
+
+// Mesh is an indexed triangle mesh.
+type Mesh struct {
+	Vertices []geom.Vec3
+	Faces    []Face
+}
+
+// New returns an empty mesh with the given capacities pre-allocated.
+func New(nv, nf int) *Mesh {
+	return &Mesh{
+		Vertices: make([]geom.Vec3, 0, nv),
+		Faces:    make([]Face, 0, nf),
+	}
+}
+
+// Clone returns a deep copy of the mesh.
+func (m *Mesh) Clone() *Mesh {
+	c := &Mesh{
+		Vertices: make([]geom.Vec3, len(m.Vertices)),
+		Faces:    make([]Face, len(m.Faces)),
+	}
+	copy(c.Vertices, m.Vertices)
+	copy(c.Faces, m.Faces)
+	return c
+}
+
+// NumVertices returns the vertex count.
+func (m *Mesh) NumVertices() int { return len(m.Vertices) }
+
+// NumFaces returns the face count.
+func (m *Mesh) NumFaces() int { return len(m.Faces) }
+
+// Triangle materializes face f as a geometric triangle.
+func (m *Mesh) Triangle(f int) geom.Triangle {
+	face := m.Faces[f]
+	return geom.Triangle{
+		A: m.Vertices[face[0]],
+		B: m.Vertices[face[1]],
+		C: m.Vertices[face[2]],
+	}
+}
+
+// Triangles materializes all faces. The result aliases no mesh state.
+func (m *Mesh) Triangles() []geom.Triangle {
+	out := make([]geom.Triangle, len(m.Faces))
+	for i := range m.Faces {
+		out[i] = m.Triangle(i)
+	}
+	return out
+}
+
+// Bounds returns the mesh's minimal bounding box (MBB).
+func (m *Mesh) Bounds() geom.Box3 {
+	b := geom.EmptyBox()
+	for _, v := range m.Vertices {
+		b = b.ExtendPoint(v)
+	}
+	return b
+}
+
+// SurfaceArea returns the total area of all faces.
+func (m *Mesh) SurfaceArea() float64 {
+	var a float64
+	for i := range m.Faces {
+		a += m.Triangle(i).Area()
+	}
+	return a
+}
+
+// Volume returns the signed volume enclosed by the mesh via the divergence
+// theorem. For a closed mesh with consistent CCW (outward) orientation the
+// result is positive.
+func (m *Mesh) Volume() float64 {
+	var vol float64
+	for _, f := range m.Faces {
+		a := m.Vertices[f[0]]
+		b := m.Vertices[f[1]]
+		c := m.Vertices[f[2]]
+		vol += a.Dot(b.Cross(c))
+	}
+	return vol / 6
+}
+
+// Centroid returns the volume centroid of the closed mesh.
+func (m *Mesh) Centroid() geom.Vec3 {
+	var c geom.Vec3
+	var vol float64
+	for _, f := range m.Faces {
+		a := m.Vertices[f[0]]
+		b := m.Vertices[f[1]]
+		d := m.Vertices[f[2]]
+		v := a.Dot(b.Cross(d))
+		vol += v
+		c = c.Add(a.Add(b).Add(d).Mul(v / 4))
+	}
+	if vol == 0 {
+		// Fall back to the vertex average for degenerate meshes.
+		for _, v := range m.Vertices {
+			c = c.Add(v)
+		}
+		if len(m.Vertices) > 0 {
+			return c.Mul(1 / float64(len(m.Vertices)))
+		}
+		return geom.Vec3{}
+	}
+	return c.Mul(1 / vol)
+}
+
+// ContainsPoint reports whether p lies strictly inside the closed mesh.
+func (m *Mesh) ContainsPoint(p geom.Vec3) bool {
+	if !m.Bounds().ContainsPoint(p) {
+		return false
+	}
+	return geom.PointInTriangles(p, m.Triangles())
+}
+
+// Translate moves every vertex by d.
+func (m *Mesh) Translate(d geom.Vec3) {
+	for i := range m.Vertices {
+		m.Vertices[i] = m.Vertices[i].Add(d)
+	}
+}
+
+// Scale scales every vertex about the origin by s.
+func (m *Mesh) Scale(s float64) {
+	for i := range m.Vertices {
+		m.Vertices[i] = m.Vertices[i].Mul(s)
+	}
+}
+
+// String implements fmt.Stringer.
+func (m *Mesh) String() string {
+	return fmt.Sprintf("mesh{%d vertices, %d faces}", len(m.Vertices), len(m.Faces))
+}

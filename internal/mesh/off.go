@@ -1,0 +1,114 @@
+package mesh
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/geom"
+)
+
+// WriteOFF writes the mesh in the Object File Format used by most mesh
+// processing toolchains (including CGAL, which the paper's implementation
+// relied on). Faces with more than three vertices are never produced.
+func (m *Mesh) WriteOFF(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "OFF\n%d %d 0\n", len(m.Vertices), len(m.Faces)); err != nil {
+		return err
+	}
+	for _, v := range m.Vertices {
+		if _, err := fmt.Fprintf(bw, "%g %g %g\n", v.X, v.Y, v.Z); err != nil {
+			return err
+		}
+	}
+	for _, f := range m.Faces {
+		if _, err := fmt.Fprintf(bw, "3 %d %d %d\n", f[0], f[1], f[2]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadOFF parses an OFF file. Polygonal faces with more than three vertices
+// are fan-triangulated. Comment lines (#...) and blank lines are skipped.
+func ReadOFF(r io.Reader) (*Mesh, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+
+	next := func() (string, error) {
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			return line, nil
+		}
+		if err := sc.Err(); err != nil {
+			return "", err
+		}
+		return "", io.ErrUnexpectedEOF
+	}
+
+	header, err := next()
+	if err != nil {
+		return nil, fmt.Errorf("mesh: reading OFF header: %w", err)
+	}
+	if header != "OFF" {
+		return nil, fmt.Errorf("mesh: not an OFF file (header %q)", header)
+	}
+
+	countLine, err := next()
+	if err != nil {
+		return nil, fmt.Errorf("mesh: reading OFF counts: %w", err)
+	}
+	var nv, nf, ne int
+	if _, err := fmt.Sscan(countLine, &nv, &nf, &ne); err != nil {
+		return nil, fmt.Errorf("mesh: parsing OFF counts %q: %w", countLine, err)
+	}
+	if nv < 0 || nf < 0 {
+		return nil, fmt.Errorf("mesh: negative OFF counts %d %d", nv, nf)
+	}
+
+	m := New(nv, nf)
+	for i := 0; i < nv; i++ {
+		line, err := next()
+		if err != nil {
+			return nil, fmt.Errorf("mesh: reading vertex %d: %w", i, err)
+		}
+		var x, y, z float64
+		if _, err := fmt.Sscan(line, &x, &y, &z); err != nil {
+			return nil, fmt.Errorf("mesh: parsing vertex %d %q: %w", i, line, err)
+		}
+		m.Vertices = append(m.Vertices, geom.V(x, y, z))
+	}
+	for i := 0; i < nf; i++ {
+		line, err := next()
+		if err != nil {
+			return nil, fmt.Errorf("mesh: reading face %d: %w", i, err)
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			return nil, fmt.Errorf("mesh: short face line %q", line)
+		}
+		var k int
+		if _, err := fmt.Sscan(fields[0], &k); err != nil || k < 3 || len(fields) < 1+k {
+			return nil, fmt.Errorf("mesh: bad face line %q", line)
+		}
+		idx := make([]int32, k)
+		for j := 0; j < k; j++ {
+			var v int
+			if _, err := fmt.Sscan(fields[1+j], &v); err != nil {
+				return nil, fmt.Errorf("mesh: bad face index in %q: %w", line, err)
+			}
+			if v < 0 || v >= nv {
+				return nil, fmt.Errorf("mesh: face index %d out of range [0,%d)", v, nv)
+			}
+			idx[j] = int32(v)
+		}
+		for j := 1; j+1 < k; j++ {
+			m.Faces = append(m.Faces, Face{idx[0], idx[j], idx[j+1]})
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,110 @@
+package mesh
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestOFFRoundTrip(t *testing.T) {
+	orig := Icosphere(2.5, 1)
+	var buf bytes.Buffer
+	if err := orig.WriteOFF(&buf); err != nil {
+		t.Fatalf("WriteOFF: %v", err)
+	}
+	got, err := ReadOFF(&buf)
+	if err != nil {
+		t.Fatalf("ReadOFF: %v", err)
+	}
+	if got.NumVertices() != orig.NumVertices() || got.NumFaces() != orig.NumFaces() {
+		t.Fatalf("round trip size mismatch: %v vs %v", got, orig)
+	}
+	for i, v := range orig.Vertices {
+		if !got.Vertices[i].ApproxEqual(v, 1e-12) {
+			t.Fatalf("vertex %d: %v != %v", i, got.Vertices[i], v)
+		}
+	}
+	for i, f := range orig.Faces {
+		if got.Faces[i] != f {
+			t.Fatalf("face %d: %v != %v", i, got.Faces[i], f)
+		}
+	}
+}
+
+func TestReadOFFComments(t *testing.T) {
+	src := `OFF
+# a comment
+4 4 0
+
+0 0 0
+1 0 0
+0 1 0
+# interleaved comment
+0 0 1
+3 0 2 1
+3 0 1 3
+3 0 3 2
+3 1 2 3
+`
+	m, err := ReadOFF(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("ReadOFF: %v", err)
+	}
+	if m.NumVertices() != 4 || m.NumFaces() != 4 {
+		t.Fatalf("got %v", m)
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("parsed mesh invalid: %v", err)
+	}
+}
+
+func TestReadOFFQuadTriangulation(t *testing.T) {
+	src := `OFF
+4 1 0
+0 0 0
+1 0 0
+1 1 0
+0 1 0
+4 0 1 2 3
+`
+	m, err := ReadOFF(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("ReadOFF: %v", err)
+	}
+	if m.NumFaces() != 2 {
+		t.Fatalf("quad should become 2 triangles, got %d", m.NumFaces())
+	}
+}
+
+func TestReadOFFErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad header":     "PLY\n3 1 0\n",
+		"missing counts": "OFF\n",
+		"bad vertex":     "OFF\n1 0 0\nx y z\n",
+		"short face":     "OFF\n3 1 0\n0 0 0\n1 0 0\n0 1 0\n3 0 1\n",
+		"oob index":      "OFF\n3 1 0\n0 0 0\n1 0 0\n0 1 0\n3 0 1 9\n",
+		"truncated":      "OFF\n5 1 0\n0 0 0\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadOFF(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestWriteOFFFormat(t *testing.T) {
+	m := &Mesh{
+		Vertices: []geom.Vec3{geom.V(0, 0, 0), geom.V(1, 0, 0), geom.V(0, 1, 0)},
+		Faces:    []Face{{0, 1, 2}},
+	}
+	var buf bytes.Buffer
+	if err := m.WriteOFF(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "OFF\n3 1 0\n0 0 0\n1 0 0\n0 1 0\n3 0 1 2\n"
+	if buf.String() != want {
+		t.Errorf("output:\n%q\nwant:\n%q", buf.String(), want)
+	}
+}

@@ -1,0 +1,170 @@
+package mesh
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPLYASCIIRoundTrip(t *testing.T) {
+	orig := Icosphere(3, 2)
+	var buf bytes.Buffer
+	if err := orig.WritePLY(&buf); err != nil {
+		t.Fatalf("WritePLY: %v", err)
+	}
+	got, err := ReadPLY(&buf)
+	if err != nil {
+		t.Fatalf("ReadPLY: %v", err)
+	}
+	if got.NumVertices() != orig.NumVertices() || got.NumFaces() != orig.NumFaces() {
+		t.Fatalf("sizes: %v vs %v", got, orig)
+	}
+	for i, v := range orig.Vertices {
+		if !got.Vertices[i].ApproxEqual(v, 1e-12) {
+			t.Fatalf("vertex %d: %v vs %v", i, got.Vertices[i], v)
+		}
+	}
+	if err := got.Validate(); err != nil {
+		t.Errorf("round-tripped mesh invalid: %v", err)
+	}
+}
+
+func TestPLYBinaryLittleEndian(t *testing.T) {
+	// Hand-build a binary PLY of a tetrahedron with float32 vertices plus
+	// an extra property that must be skipped.
+	tet := Tetrahedron(2)
+	var buf bytes.Buffer
+	buf.WriteString("ply\nformat binary_little_endian 1.0\n")
+	buf.WriteString("element vertex 4\n")
+	buf.WriteString("property float x\nproperty float y\nproperty float z\nproperty float quality\n")
+	buf.WriteString("element face 4\n")
+	buf.WriteString("property list uchar int vertex_indices\n")
+	buf.WriteString("end_header\n")
+	for _, v := range tet.Vertices {
+		for _, c := range []float64{v.X, v.Y, v.Z, 0.5} {
+			binary.Write(&buf, binary.LittleEndian, float32(c))
+		}
+	}
+	for _, f := range tet.Faces {
+		buf.WriteByte(3)
+		for _, idx := range f {
+			binary.Write(&buf, binary.LittleEndian, int32(idx))
+		}
+	}
+
+	got, err := ReadPLY(&buf)
+	if err != nil {
+		t.Fatalf("ReadPLY: %v", err)
+	}
+	if got.NumVertices() != 4 || got.NumFaces() != 4 {
+		t.Fatalf("got %v", got)
+	}
+	for i, v := range tet.Vertices {
+		if math.Abs(got.Vertices[i].X-v.X) > 1e-6 {
+			t.Fatalf("vertex %d mismatch", i)
+		}
+	}
+	if err := got.Validate(); err != nil {
+		t.Errorf("binary PLY mesh invalid: %v", err)
+	}
+}
+
+func TestPLYQuadTriangulation(t *testing.T) {
+	src := `ply
+format ascii 1.0
+element vertex 4
+property double x
+property double y
+property double z
+element face 1
+property list uchar int vertex_indices
+end_header
+0 0 0
+1 0 0
+1 1 0
+0 1 0
+4 0 1 2 3
+`
+	m, err := ReadPLY(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumFaces() != 2 {
+		t.Errorf("faces = %d, want 2", m.NumFaces())
+	}
+}
+
+func TestPLYSkipsUnknownElements(t *testing.T) {
+	src := `ply
+format ascii 1.0
+comment has an edge element to skip
+element vertex 3
+property double x
+property double y
+property double z
+element edge 2
+property int vertex1
+property int vertex2
+end_header
+0 0 0
+1 0 0
+0 1 0
+0 1
+1 2
+`
+	m, err := ReadPLY(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumVertices() != 3 || m.NumFaces() != 0 {
+		t.Errorf("got %v", m)
+	}
+}
+
+func TestPLYErrors(t *testing.T) {
+	cases := map[string]string{
+		"not ply":     "off\n",
+		"bad format":  "ply\nformat binary_big_endian 1.0\nend_header\n",
+		"bad element": "ply\nformat ascii 1.0\nelement vertex x\nend_header\n",
+		"oob index":   "ply\nformat ascii 1.0\nelement vertex 3\nproperty double x\nproperty double y\nproperty double z\nelement face 1\nproperty list uchar int vertex_indices\nend_header\n0 0 0\n1 0 0\n0 1 0\n3 0 1 9\n",
+		"no xyz":      "ply\nformat ascii 1.0\nelement vertex 1\nproperty double a\nend_header\n1\n",
+		"truncated":   "ply\nformat ascii 1.0\nelement vertex 5\nproperty double x\nproperty double y\nproperty double z\nend_header\n0 0 0\n",
+		"prop orphan": "ply\nformat ascii 1.0\nproperty double x\nend_header\n",
+		"unknown kw":  "ply\nformat ascii 1.0\nwhatever\nend_header\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadPLY(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestPLYOFFEquivalence(t *testing.T) {
+	// The same mesh written to both formats decodes identically.
+	m := Ellipsoid(3, 2, 1, 1)
+	var off, ply bytes.Buffer
+	if err := m.WriteOFF(&off); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WritePLY(&ply); err != nil {
+		t.Fatal(err)
+	}
+	a, err := ReadOFF(&off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadPLY(&ply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumVertices() != b.NumVertices() || a.NumFaces() != b.NumFaces() {
+		t.Fatal("format mismatch")
+	}
+	for i := range a.Vertices {
+		if !a.Vertices[i].ApproxEqual(b.Vertices[i], 1e-12) {
+			t.Fatalf("vertex %d differs between formats", i)
+		}
+	}
+}

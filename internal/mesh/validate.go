@@ -1,0 +1,120 @@
+package mesh
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Validation errors.
+var (
+	ErrIndexOutOfRange  = errors.New("mesh: face references vertex out of range")
+	ErrDegenerateFace   = errors.New("mesh: face repeats a vertex")
+	ErrOpenEdge         = errors.New("mesh: edge with fewer than 2 incident faces (surface not closed)")
+	ErrNonManifoldEdge  = errors.New("mesh: edge with more than 2 incident faces")
+	ErrInconsistentWind = errors.New("mesh: inconsistent face orientation across an edge")
+	ErrNegativeVolume   = errors.New("mesh: negative enclosed volume (faces wound inward)")
+)
+
+// Validate checks that the mesh is a closed, orientable, consistently wound
+// 2-manifold — the polyhedron class assumed throughout the paper. It returns
+// the first violation found, or nil.
+func (m *Mesh) Validate() error {
+	n := int32(len(m.Vertices))
+	for fi, f := range m.Faces {
+		for _, v := range f {
+			if v < 0 || v >= n {
+				return fmt.Errorf("%w: face %d vertex %d (n=%d)", ErrIndexOutOfRange, fi, v, n)
+			}
+		}
+		if f[0] == f[1] || f[1] == f[2] || f[0] == f[2] {
+			return fmt.Errorf("%w: face %d = %v", ErrDegenerateFace, fi, f)
+		}
+	}
+
+	// Each undirected edge must appear exactly twice, once per direction
+	// (consistent winding).
+	type dirCount struct{ fwd, rev int }
+	counts := make(map[EdgeKey]*dirCount, 3*len(m.Faces)/2+1)
+	for _, f := range m.Faces {
+		for k := 0; k < 3; k++ {
+			a, b := f[k], f[(k+1)%3]
+			key := MakeEdgeKey(a, b)
+			c := counts[key]
+			if c == nil {
+				c = &dirCount{}
+				counts[key] = c
+			}
+			if a == key.Lo {
+				c.fwd++
+			} else {
+				c.rev++
+			}
+		}
+	}
+	for e, c := range counts {
+		total := c.fwd + c.rev
+		switch {
+		case total < 2:
+			return fmt.Errorf("%w: edge %v", ErrOpenEdge, e)
+		case total > 2:
+			return fmt.Errorf("%w: edge %v has %d faces", ErrNonManifoldEdge, e, total)
+		case c.fwd != 1 || c.rev != 1:
+			return fmt.Errorf("%w: edge %v (fwd=%d rev=%d)", ErrInconsistentWind, e, c.fwd, c.rev)
+		}
+	}
+
+	if len(m.Faces) > 0 && m.Volume() < 0 {
+		return ErrNegativeVolume
+	}
+	return nil
+}
+
+// EulerCharacteristic returns V - E + F. A closed surface of genus g has
+// characteristic 2 - 2g (2 for a topological sphere).
+func (m *Mesh) EulerCharacteristic() int {
+	return len(m.Vertices) - len(m.Edges()) + len(m.Faces)
+}
+
+// IsClosed reports whether every edge is shared by exactly two faces.
+func (m *Mesh) IsClosed() bool {
+	counts := make(map[EdgeKey]int, 3*len(m.Faces)/2+1)
+	for _, f := range m.Faces {
+		for k := 0; k < 3; k++ {
+			counts[MakeEdgeKey(f[k], f[(k+1)%3])]++
+		}
+	}
+	for _, c := range counts {
+		if c != 2 {
+			return false
+		}
+	}
+	return true
+}
+
+// CompactVertices removes unreferenced vertices and remaps face indices.
+// It returns the mapping from old vertex index to new index (-1 if dropped).
+func (m *Mesh) CompactVertices() []int32 {
+	used := make([]bool, len(m.Vertices))
+	for _, f := range m.Faces {
+		used[f[0]] = true
+		used[f[1]] = true
+		used[f[2]] = true
+	}
+	remap := make([]int32, len(m.Vertices))
+	kept := m.Vertices[:0]
+	var next int32
+	for i, u := range used {
+		if u {
+			remap[i] = next
+			kept = append(kept, m.Vertices[i])
+			next++
+		} else {
+			remap[i] = -1
+		}
+	}
+	m.Vertices = kept
+	for i, f := range m.Faces {
+		m.Faces[i] = Face{remap[f[0]], remap[f[1]], remap[f[2]]}
+	}
+	return remap
+}

@@ -1,0 +1,39 @@
+// Package ppmc exposes classic progressive polygon mesh compression — the
+// PPMC baseline of the paper's §2.3/§3.2 — through the same machinery as
+// package ppvp, but with the any-vertex pruning policy: decimation removes
+// recessing vertices as happily as protruding ones.
+//
+// The consequence, and the paper's motivation for PPVP, is that a PPMC
+// low-LOD polyhedron is neither a progressive nor a conservative
+// approximation of the original: removing a recessing vertex fills a pit
+// (the object grows), removing a protruding one cuts a bump (it shrinks).
+// Neither early-return property of §2.2 holds, so progressive refinement
+// cannot settle queries at low LODs with PPMC-compressed data.
+package ppmc
+
+import (
+	"repro/internal/mesh"
+	"repro/internal/ppvp"
+)
+
+// Options mirrors ppvp.Options (the policy is forced to PruneAny).
+type Options = ppvp.Options
+
+// DefaultOptions returns the PPMC configuration matching the paper's setup.
+func DefaultOptions() Options {
+	o := ppvp.DefaultOptions()
+	o.Policy = ppvp.PruneAny
+	return o
+}
+
+// Compress encodes m with classic any-vertex progressive compression.
+func Compress(m *mesh.Mesh, opts Options) (*ppvp.Compressed, ppvp.Stats, error) {
+	opts.Policy = ppvp.PruneAny
+	return ppvp.Compress(m, opts)
+}
+
+// FromBytes parses a blob (shared format with PPVP; the policy byte records
+// which encoder produced it).
+func FromBytes(blob []byte) (*ppvp.Compressed, error) {
+	return ppvp.FromBytes(blob)
+}

@@ -1,0 +1,158 @@
+package ppmc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/mesh"
+	"repro/internal/ppvp"
+)
+
+// dentedSphere returns a sphere with a deep pit — plenty of recessing
+// vertices for PPMC to remove.
+func dentedSphere() *mesh.Mesh {
+	m := mesh.Icosphere(10, 3)
+	for i, v := range m.Vertices {
+		// Push vertices near the +X pole inward.
+		if v.X > 7 {
+			f := (v.X - 7) / 3 // 0..1
+			m.Vertices[i] = v.Mul(1 - 0.45*f)
+		}
+	}
+	return m
+}
+
+func TestPPMCCompressesMoreButGuaranteesNothing(t *testing.T) {
+	m := dentedSphere()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	cAny, stAny, err := Compress(m, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cAny.PolicyUsed() != ppvp.PruneAny {
+		t.Fatalf("policy = %v", cAny.PolicyUsed())
+	}
+	_, stPPVP, err := ppvp.Compress(m, ppvp.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// PPMC can remove recessing vertices too, so it decimates at least as
+	// aggressively on a dented shape.
+	if stAny.VerticesRemoved < stPPVP.VerticesRemoved {
+		t.Errorf("PPMC removed %d < PPVP %d", stAny.VerticesRemoved, stPPVP.VerticesRemoved)
+	}
+
+	// Every LOD still decodes to a valid closed manifold and the top LOD
+	// is lossless.
+	for lod := 0; lod <= cAny.MaxLOD(); lod++ {
+		g, err := cAny.Decode(lod)
+		if err != nil {
+			t.Fatalf("lod %d: %v", lod, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("lod %d invalid: %v", lod, err)
+		}
+	}
+	top, _ := cAny.Decode(cAny.MaxLOD())
+	if top.NumFaces() != m.NumFaces() {
+		t.Errorf("top LOD faces = %d, want %d", top.NumFaces(), m.NumFaces())
+	}
+}
+
+func TestPPMCFillsPits(t *testing.T) {
+	// The paper's §3.2 observation: with PPMC, some removals make the
+	// polyhedron thicker (filling pits). On a dented sphere this shows up
+	// as a low-LOD volume exceeding what pure pruning could produce; we
+	// detect it directly: some LOD transition loses volume while decoding
+	// upward, which is impossible under PPVP's prune-only guarantee.
+	m := dentedSphere()
+	cAny, _, err := Compress(m, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Detect a subset violation directly: sample interior points of a
+	// lower LOD and look for one outside the full-resolution mesh — a
+	// filled pit. (Volume alone can stay monotone by accident.)
+	top, err := cAny.Decode(cAny.MaxLOD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	topTris := top.Triangles()
+	rng := rand.New(rand.NewSource(77))
+	violated := false
+	for lod := 0; lod < cAny.MaxLOD() && !violated; lod++ {
+		g, err := cAny.Decode(lod)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := g.Bounds()
+		checked := 0
+		for i := 0; i < 30000 && checked < 400; i++ {
+			p := geom.V(
+				b.Min.X+rng.Float64()*b.Size().X,
+				b.Min.Y+rng.Float64()*b.Size().Y,
+				b.Min.Z+rng.Float64()*b.Size().Z,
+			)
+			if !g.ContainsPoint(p) {
+				continue
+			}
+			checked++
+			if !geom.PointInTriangles(p, topTris) {
+				violated = true // pit filled: low LOD pokes outside the original
+				break
+			}
+		}
+	}
+	if !violated {
+		t.Skip("PPMC happened to produce subsets on this mesh; no guarantee was promised either way")
+	}
+
+	// PPVP on the same mesh must stay monotone.
+	cP, _, err := ppvp.Compress(m, ppvp.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -math.MaxFloat64
+	for lod := 0; lod <= cP.MaxLOD(); lod++ {
+		g, err := cP.Decode(lod)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Volume() < prev-1e-9 {
+			t.Fatalf("PPVP volume decreased at LOD %d", lod)
+		}
+		prev = g.Volume()
+	}
+}
+
+func TestPPMCSharedFormat(t *testing.T) {
+	m := mesh.Icosphere(3, 2)
+	c, _, err := Compress(m, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := FromBytes(c.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.PolicyUsed() != ppvp.PruneAny {
+		t.Errorf("round-tripped policy = %v", c2.PolicyUsed())
+	}
+	g1, err := c.Decode(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := c2.Decode(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumFaces() != g2.NumFaces() {
+		t.Error("decode mismatch after round trip")
+	}
+}

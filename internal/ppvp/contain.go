@@ -1,0 +1,102 @@
+package ppvp
+
+import (
+	"repro/internal/geom"
+	"repro/internal/index/aabbtree"
+)
+
+// tet is one carved-off tetrahedron: a patch face (a, b, c) plus the removed
+// vertex v above it. The four plane normals point outward so inside tests
+// are four sign checks.
+type tet struct {
+	box    geom.Box3
+	planes [4]plane
+}
+
+type plane struct {
+	n geom.Vec3
+	d float64 // n·x <= d inside
+}
+
+func planeThrough(a, b, c, inside geom.Vec3) plane {
+	n := b.Sub(a).Cross(c.Sub(a))
+	d := n.Dot(a)
+	if n.Dot(inside) > d {
+		n = n.Neg()
+		d = -d
+	}
+	return plane{n: n, d: d}
+}
+
+func makeTet(a, b, c, v geom.Vec3) tet {
+	centroid := a.Add(b).Add(c).Add(v).Mul(0.25)
+	return tet{
+		box: geom.BoxOf(a, b, c, v),
+		planes: [4]plane{
+			planeThrough(a, b, c, centroid),
+			planeThrough(a, b, v, centroid),
+			planeThrough(b, c, v, centroid),
+			planeThrough(c, a, v, centroid),
+		},
+	}
+}
+
+// contains reports whether p is strictly inside the tetrahedron, with a
+// small tolerance pulling the boundary inward so points exactly on a carved
+// face do not count as removed.
+func (t tet) contains(p geom.Vec3, tol float64) bool {
+	if !t.box.ContainsPoint(p) {
+		return false
+	}
+	for _, pl := range t.planes {
+		// Scale-normalize so tol compares a true distance.
+		l := pl.n.Len()
+		if l == 0 {
+			return false
+		}
+		if pl.n.Dot(p) > pl.d-tol*l {
+			return false
+		}
+	}
+	return true
+}
+
+// patchContained verifies the progressive-subset guarantee for a candidate
+// removal: sampled points on the new patch surface, nudged slightly inward,
+// must lie inside the round-start solid and outside every tetrahedron
+// already carved out this round.
+func patchContained(pts []geom.Vec3, patch [][3]uint16, tree *aabbtree.Tree, carved []tet, diag float64) bool {
+	if tree == nil {
+		return true
+	}
+	eps := 1e-9 * (diag + 1)
+	for _, t := range patch {
+		tri := geom.Triangle{A: pts[t[0]], B: pts[t[1]], C: pts[t[2]]}
+		inward := tri.UnitNormal().Neg()
+		if inward == (geom.Vec3{}) {
+			return false
+		}
+		cen := tri.Centroid()
+		samples := [7]geom.Vec3{
+			cen,
+			tri.A.Lerp(cen, 0.5),
+			tri.B.Lerp(cen, 0.5),
+			tri.C.Lerp(cen, 0.5),
+			tri.A.Lerp(tri.B, 0.5).Lerp(cen, 0.15),
+			tri.B.Lerp(tri.C, 0.5).Lerp(cen, 0.15),
+			tri.C.Lerp(tri.A, 0.5).Lerp(cen, 0.15),
+		}
+		for _, s := range samples {
+			p := s.Add(inward.Mul(eps))
+			if !tree.ContainsPoint(p) {
+				return false
+			}
+			for _, ct := range carved {
+				if ct.contains(p, eps) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,270 @@
+package ppvp
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/index/aabbtree"
+	"repro/internal/mesh"
+)
+
+// faceKey identifies a face by its sorted vertex triple. In a valid manifold
+// mesh no two faces share the same vertex set, so the sorted key is unique;
+// the oriented face is kept as the map value.
+type faceKey [3]int32
+
+func keyOf(f mesh.Face) faceKey {
+	a, b, c := f[0], f[1], f[2]
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b, c = c, b
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return faceKey{a, b, c}
+}
+
+// work is the mutable mesh state threaded through the decimation rounds.
+// Vertices are tombstoned (never reindexed) so ops can reference original
+// indices throughout the encode.
+type work struct {
+	verts []geom.Vec3
+	alive []bool
+	faces map[faceKey]mesh.Face
+	edges map[mesh.EdgeKey]int // incidence count per undirected edge
+}
+
+func newWork(m *mesh.Mesh) *work {
+	w := &work{
+		verts: append([]geom.Vec3(nil), m.Vertices...),
+		alive: make([]bool, len(m.Vertices)),
+		faces: make(map[faceKey]mesh.Face, len(m.Faces)),
+		edges: make(map[mesh.EdgeKey]int, 3*len(m.Faces)/2+1),
+	}
+	for i := range w.alive {
+		w.alive[i] = true
+	}
+	for _, f := range m.Faces {
+		w.addFace(f)
+	}
+	return w
+}
+
+func (w *work) addFace(f mesh.Face) {
+	w.faces[keyOf(f)] = f
+	for k := 0; k < 3; k++ {
+		w.edges[mesh.MakeEdgeKey(f[k], f[(k+1)%3])]++
+	}
+}
+
+func (w *work) removeFace(f mesh.Face) {
+	delete(w.faces, keyOf(f))
+	for k := 0; k < 3; k++ {
+		e := mesh.MakeEdgeKey(f[k], f[(k+1)%3])
+		if w.edges[e]--; w.edges[e] == 0 {
+			delete(w.edges, e)
+		}
+	}
+}
+
+// snapshotMesh materializes the current face set as a mesh that still uses
+// the original (tombstoned) vertex indexing. Faces are emitted in sorted key
+// order for determinism.
+func (w *work) snapshotMesh() *mesh.Mesh {
+	keys := make([]faceKey, 0, len(w.faces))
+	for k := range w.faces {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a[0] != b[0] {
+			return a[0] < b[0]
+		}
+		if a[1] != b[1] {
+			return a[1] < b[1]
+		}
+		return a[2] < b[2]
+	})
+	m := &mesh.Mesh{Vertices: w.verts, Faces: make([]mesh.Face, 0, len(keys))}
+	for _, k := range keys {
+		m.Faces = append(m.Faces, w.faces[k])
+	}
+	return m
+}
+
+// decimateRound runs one round of decimation: it removes a maximal
+// independent set of removable vertices (under the policy) in ascending
+// index order. The returned ops record the removals in application order.
+func (w *work) decimateRound(policy Policy, minFaces int, stats *Stats) []op {
+	snap := w.snapshotMesh()
+	adj := mesh.BuildAdjacency(snap)
+
+	// The acute-angle test of §3.1 is evaluated per patch face; with a
+	// folded hole triangulation it can pass even though part of the patch
+	// pokes outside the solid, which would break the progressive-subset
+	// guarantee. Under the PPVP policy every accepted patch is therefore
+	// verified against the round-start surface (indexed by an AABB tree)
+	// minus the tetrahedra already carved out this round.
+	var tree *aabbtree.Tree
+	var carved []tet
+	var diag float64
+	if policy == PruneProtruding {
+		tree = aabbtree.Build(snap.Triangles())
+		diag = tree.Bounds().Diagonal()
+	}
+
+	locked := make([]bool, len(w.verts))
+	var ops []op
+
+	for v := int32(0); int(v) < len(w.verts); v++ {
+		if !w.alive[v] || locked[v] {
+			continue
+		}
+		if len(w.faces)-2 < minFaces {
+			break // removing any vertex would shrink the mesh below the floor
+		}
+		ring, ok := adj.OneRing(snap, v)
+		if !ok {
+			continue
+		}
+		pts := make([]geom.Vec3, len(ring))
+		for i, r := range ring {
+			pts[i] = w.verts[r]
+		}
+
+		// The prune-only guarantee depends on the hole triangulation: a
+		// folded patch can fail the protruding test even for a vertex that
+		// is geometrically protruding. Try the ear-clipping result first,
+		// then every fan, and keep the first triangulation that is both
+		// manifold-safe and (under PPVP) protruding.
+		var chosen [][3]uint16
+		var strat uint16
+		validSeen, protrudingSeen := false, false
+		tryPatch := func(patch [][3]uint16, s uint16) bool {
+			if patch == nil || !w.patchValid(ring, patch) {
+				return false
+			}
+			validSeen = true
+			prot := isProtruding(w.verts[v], pts, patch)
+			if prot {
+				protrudingSeen = true
+			}
+			if policy == PruneProtruding && !prot {
+				return false
+			}
+			if policy == PruneProtruding && !patchContained(pts, patch, tree, carved, diag) {
+				return false
+			}
+			chosen, strat = patch, s
+			return true
+		}
+		if ear, ok := triangulateRing(pts); !ok || !tryPatch(ear, 0) {
+			for apex := 0; apex < len(ring); apex++ {
+				if tryPatch(fanTriangulation(len(ring), apex), uint16(apex+1)) {
+					break
+				}
+			}
+		}
+		if !validSeen {
+			continue
+		}
+		stats.VerticesExamined++
+		if protrudingSeen {
+			stats.VerticesProtruding++
+		}
+		if chosen == nil {
+			continue
+		}
+
+		// Apply the removal: delete the fan, add the patch.
+		for i := range ring {
+			w.removeFace(mesh.Face{v, ring[i], ring[(i+1)%len(ring)]})
+		}
+		for _, t := range chosen {
+			w.addFace(mesh.Face{ring[t[0]], ring[t[1]], ring[t[2]]})
+		}
+		w.alive[v] = false
+		for _, r := range ring {
+			locked[r] = true
+		}
+		if policy == PruneProtruding {
+			for _, t := range chosen {
+				carved = append(carved, makeTet(pts[t[0]], pts[t[1]], pts[t[2]], w.verts[v]))
+			}
+		}
+		stats.VerticesRemoved++
+		ops = append(ops, op{pos: w.verts[v], ring: append([]int32(nil), ring...), patch: chosen, strat: strat, origIdx: v})
+	}
+	return ops
+}
+
+// patchValid checks that inserting the patch keeps the mesh a 2-manifold:
+//
+//   - every patch triangle is non-degenerate,
+//   - no patch triangle duplicates an existing face (in either orientation),
+//   - every interior diagonal is a brand-new edge used by exactly two patch
+//     triangles, and every ring boundary edge is used by exactly one.
+func (w *work) patchValid(ring []int32, patch [][3]uint16) bool {
+	n := len(ring)
+	ringEdge := make(map[mesh.EdgeKey]bool, n)
+	for i := 0; i < n; i++ {
+		ringEdge[mesh.MakeEdgeKey(ring[i], ring[(i+1)%n])] = true
+	}
+	edgeUse := make(map[mesh.EdgeKey]int, 2*n)
+	for _, t := range patch {
+		f := mesh.Face{ring[t[0]], ring[t[1]], ring[t[2]]}
+		if f[0] == f[1] || f[1] == f[2] || f[0] == f[2] {
+			return false
+		}
+		if _, dup := w.faces[keyOf(f)]; dup {
+			return false
+		}
+		tri := geom.Triangle{A: w.verts[f[0]], B: w.verts[f[1]], C: w.verts[f[2]]}
+		if tri.IsDegenerate() {
+			return false
+		}
+		for k := 0; k < 3; k++ {
+			e := mesh.MakeEdgeKey(f[k], f[(k+1)%3])
+			edgeUse[e]++
+			if !ringEdge[e] {
+				// Interior diagonal: must not already exist in the mesh.
+				if w.edges[e] > 0 {
+					return false
+				}
+			}
+		}
+	}
+	for e, c := range edgeUse {
+		if ringEdge[e] {
+			if c != 1 {
+				return false
+			}
+		} else if c != 2 {
+			return false
+		}
+	}
+	return true
+}
+
+// isProtruding implements the paper's §3.1 test: vertex v is protruding iff
+// for every newly added (patch) face, the angle between the face's outward
+// normal and the vector from the face to v is acute or right — i.e. removal
+// only cuts solid tetrahedra off the polyhedron (or has no impact), never
+// fills a pit.
+func isProtruding(v geom.Vec3, pts []geom.Vec3, patch [][3]uint16) bool {
+	for _, t := range patch {
+		tri := geom.Triangle{A: pts[t[0]], B: pts[t[1]], C: pts[t[2]]}
+		n := tri.Normal()
+		d := v.Sub(tri.Centroid())
+		dot := n.Dot(d)
+		// Scaled tolerance: treat |dot| below noise as the "no impact" case.
+		tol := 1e-12 * n.Len() * (d.Len() + 1)
+		if dot < -tol {
+			return false
+		}
+	}
+	return true
+}

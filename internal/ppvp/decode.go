@@ -1,0 +1,139 @@
+package ppvp
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/mesh"
+)
+
+// Decoder incrementally reconstructs a compressed object from LOD 0 upward.
+// Decoding to LOD k and later to LOD k+1 reuses the LOD-k state, which is
+// exactly how the engine's progressive refinement consumes it. A Decoder is
+// not safe for concurrent use; the Compressed it reads from is.
+type Decoder struct {
+	c             *Compressed
+	verts         []geom.Vec3
+	faces         []mesh.Face
+	faceIdx       map[faceKey]int32
+	roundsApplied int
+}
+
+// NewDecoder returns a decoder positioned at LOD 0.
+func (c *Compressed) NewDecoder() (*Decoder, error) {
+	base, err := c.parseBase()
+	if err != nil {
+		return nil, err
+	}
+	d := &Decoder{
+		c:       c,
+		verts:   append(make([]geom.Vec3, 0, c.nVertsTotal), base.Vertices...),
+		faces:   append(make([]mesh.Face, 0, c.nFacesTotal), base.Faces...),
+		faceIdx: make(map[faceKey]int32, c.nFacesTotal),
+	}
+	for i, f := range d.faces {
+		d.faceIdx[keyOf(f)] = int32(i)
+	}
+	return d, nil
+}
+
+// CurrentLOD returns the LOD the decoder state currently represents.
+func (d *Decoder) CurrentLOD() int {
+	return (d.roundsApplied + d.c.roundsPerLOD - 1) / d.c.roundsPerLOD
+}
+
+// DecodeTo advances the decoder to the given LOD (which must be ≥ the
+// current LOD) and returns an independent snapshot of the mesh at that LOD.
+func (d *Decoder) DecodeTo(lod int) (*mesh.Mesh, error) {
+	if lod < 0 || lod > d.c.MaxLOD() {
+		return nil, fmt.Errorf("%w: lod %d of [0,%d]", ErrLODOutOfRange, lod, d.c.MaxLOD())
+	}
+	target := d.c.roundsForLOD(lod)
+	if target < d.roundsApplied {
+		return nil, fmt.Errorf("ppvp: decoder cannot rewind (at round %d, want %d); use a new decoder", d.roundsApplied, target)
+	}
+	for d.roundsApplied < target {
+		rd, err := d.c.parseRound(d.roundsApplied)
+		if err != nil {
+			return nil, err
+		}
+		for i := range rd.ops {
+			if err := d.applyOp(&rd.ops[i]); err != nil {
+				return nil, err
+			}
+		}
+		d.roundsApplied++
+	}
+	return d.snapshot(), nil
+}
+
+// snapshot clones the current mesh state.
+func (d *Decoder) snapshot() *mesh.Mesh {
+	m := &mesh.Mesh{
+		Vertices: append([]geom.Vec3(nil), d.verts...),
+		Faces:    append([]mesh.Face(nil), d.faces...),
+	}
+	return m
+}
+
+// applyOp re-inserts one removed vertex: the deterministic ear-clipping is
+// re-run on the ring positions to identify the patch triangles to delete,
+// then the original fan around the vertex is restored.
+func (d *Decoder) applyOp(o *op) error {
+	n := int32(len(d.verts))
+	ringPts := make([]geom.Vec3, len(o.ring))
+	for i, id := range o.ring {
+		if id < 0 || id >= n {
+			return fmt.Errorf("%w: ring reference %d out of %d vertices", ErrCorruptBlob, id, n)
+		}
+		ringPts[i] = d.verts[id]
+	}
+	// Recompute the patch triangulation from the recorded strategy; do not
+	// cache it on the shared op, several decoders may work off the same
+	// Compressed concurrently.
+	patch := o.patch
+	if patch == nil {
+		var ok bool
+		patch, ok = patchForStrategy(ringPts, o.strat)
+		if !ok {
+			return fmt.Errorf("%w: ring cannot be retriangulated", ErrCorruptBlob)
+		}
+	}
+
+	// Delete the patch faces.
+	for _, t := range patch {
+		f := mesh.Face{o.ring[t[0]], o.ring[t[1]], o.ring[t[2]]}
+		key := keyOf(f)
+		idx, ok := d.faceIdx[key]
+		if !ok {
+			return fmt.Errorf("%w: patch face %v missing from mesh", ErrCorruptBlob, f)
+		}
+		last := int32(len(d.faces) - 1)
+		if idx != last {
+			d.faces[idx] = d.faces[last]
+			d.faceIdx[keyOf(d.faces[idx])] = idx
+		}
+		d.faces = d.faces[:last]
+		delete(d.faceIdx, key)
+	}
+
+	// Restore the vertex and its fan.
+	vid := n
+	d.verts = append(d.verts, o.pos)
+	for i := range o.ring {
+		f := mesh.Face{vid, o.ring[i], o.ring[(i+1)%len(o.ring)]}
+		d.faceIdx[keyOf(f)] = int32(len(d.faces))
+		d.faces = append(d.faces, f)
+	}
+	return nil
+}
+
+// Decode reconstructs the object at the given LOD with a fresh decoder.
+// Prefer NewDecoder + DecodeTo when walking several LODs upward.
+func (c *Compressed) Decode(lod int) (*mesh.Mesh, error) {
+	d, err := c.NewDecoder()
+	if err != nil {
+		return nil, err
+	}
+	return d.DecodeTo(lod)
+}

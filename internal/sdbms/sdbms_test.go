@@ -1,0 +1,176 @@
+package sdbms
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/geom"
+	"repro/internal/mesh"
+)
+
+func TestIntersectJoin(t *testing.T) {
+	a := mesh.Icosphere(2, 1)
+	b := mesh.Icosphere(2, 1) // overlaps a
+	b.Translate(geom.V(3, 0, 0))
+	c := mesh.Icosphere(2, 1) // far away
+	c.Translate(geom.V(50, 0, 0))
+
+	src, err := New([]*mesh.Mesh{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := New([]*mesh.Mesh{b, c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := src.IntersectJoin(tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != (Pair{Target: 0, Source: 0}) {
+		t.Errorf("got %v", got)
+	}
+	if stats.Elapsed <= 0 {
+		t.Error("no elapsed time recorded")
+	}
+}
+
+func TestIntersectJoinContainment(t *testing.T) {
+	big := mesh.Icosphere(10, 1)
+	small := mesh.Icosphere(1, 1)
+
+	outer, _ := New([]*mesh.Mesh{big})
+	inner, _ := New([]*mesh.Mesh{small})
+	got, _, err := outer.IntersectJoin(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Errorf("containment missed: %v", got)
+	}
+	// Reverse direction.
+	got2, _, err := inner.IntersectJoin(outer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got2) != 1 {
+		t.Errorf("reverse containment missed: %v", got2)
+	}
+}
+
+func TestSelfJoinSkipsSelf(t *testing.T) {
+	nuclei := datagen.Nuclei(datagen.NucleiOptions{Count: 8, SubdivisionLevel: 1, Seed: 4})
+	e, err := New(nuclei)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := e.IntersectJoin(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("disjoint dataset self-join returned %v", got)
+	}
+}
+
+func TestWithinAndNNJoin(t *testing.T) {
+	space := geom.Box3{Min: geom.V(0, 0, 0), Max: geom.V(60, 60, 60)}
+	ma, mb := datagen.NucleiPair(datagen.NucleiOptions{Count: 6, SubdivisionLevel: 1, Seed: 9, Space: space})
+	ta, err := New(ma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := New(mb)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const dist = 14.0
+	got, _, err := sb.WithinJoin(ta, dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[Pair]bool{}
+	for i := range ma {
+		for j := range mb {
+			if sb.distanceCross(ta, int64(i), int64(j)) <= dist {
+				want[Pair{int64(i), int64(j)}] = true
+			}
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("vacuous within test")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("within join: %d pairs, want %d", len(got), len(want))
+	}
+	for _, p := range got {
+		if !want[p] {
+			t.Errorf("spurious pair %v", p)
+		}
+	}
+
+	// NN with a generous buffer matches brute force.
+	ns, _, err := sb.NNJoin(ta, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != len(ma) {
+		t.Fatalf("NN join returned %d results, want %d", len(ns), len(ma))
+	}
+	for _, n := range ns {
+		best := math.Inf(1)
+		for j := range mb {
+			if d := sb.distanceCross(ta, n.Target, int64(j)); d < best {
+				best = d
+			}
+		}
+		if math.Abs(n.Dist-best) > 1e-9 {
+			t.Errorf("target %d: NN dist %v, want %v", n.Target, n.Dist, best)
+		}
+	}
+
+	// A buffer radius of ~zero misses neighbors whose MBBs are far away.
+	short, _, err := sb.NNJoin(ta, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(short) >= len(ns) {
+		t.Log("note: tiny buffer still found all neighbors (MBBs overlap)")
+	}
+}
+
+func TestNewRejectsBadInput(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	open := &mesh.Mesh{
+		Vertices: []geom.Vec3{geom.V(0, 0, 0), geom.V(1, 0, 0), geom.V(0, 1, 0)},
+		Faces:    []mesh.Face{{0, 1, 2}},
+	}
+	if _, err := New([]*mesh.Mesh{open}); err == nil {
+		t.Error("invalid mesh accepted")
+	}
+}
+
+func TestDistanceSymmetric(t *testing.T) {
+	a := mesh.Icosphere(2, 1)
+	b := mesh.Icosphere(2, 1)
+	b.Translate(geom.V(9, 1, 0))
+	e, err := New([]*mesh.Mesh{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := e.Distance(0, 1)
+	d2 := e.Distance(1, 0)
+	if math.Abs(d1-d2) > 1e-12 {
+		t.Errorf("asymmetric: %v vs %v", d1, d2)
+	}
+	if d1 < 4.5 || d1 > 5.5 {
+		t.Errorf("distance %v implausible (want ≈ 5)", d1)
+	}
+	if !e.Intersects(0, 0) {
+		t.Error("object should intersect itself")
+	}
+}

@@ -1,0 +1,390 @@
+// Package server exposes the 3DPro engine over HTTP with a small JSON API,
+// making the library usable as the standalone query system the paper
+// describes. Query handlers honor request contexts, so abandoned HTTP
+// requests cancel the underlying join.
+//
+//	GET  /datasets                     list loaded datasets
+//	GET  /datasets/{name}              one dataset's metadata
+//	GET  /datasets/{name}/objects/{id} decoded mesh (?lod=K&format=json|off|ply)
+//	POST /query/intersect              {"target","source","paradigm","accel"}
+//	POST /query/within                 + "dist"
+//	POST /query/nn                     + "k"
+//	POST /query/range                  {"dataset","min":[x,y,z],"max":[x,y,z]}
+//	POST /query/point                  {"dataset","point":[x,y,z]}
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// Server serves queries against a set of named datasets.
+type Server struct {
+	eng *core.Engine
+
+	mu       sync.RWMutex
+	datasets map[string]*core.Dataset
+}
+
+// New returns a server bound to the engine.
+func New(eng *core.Engine) *Server {
+	return &Server{eng: eng, datasets: make(map[string]*core.Dataset)}
+}
+
+// AddDataset registers a dataset under its name.
+func (s *Server) AddDataset(d *core.Dataset) {
+	s.mu.Lock()
+	s.datasets[d.Name] = d
+	s.mu.Unlock()
+}
+
+func (s *Server) dataset(name string) (*core.Dataset, bool) {
+	s.mu.RLock()
+	d, ok := s.datasets[name]
+	s.mu.RUnlock()
+	return d, ok
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /datasets", s.handleListDatasets)
+	mux.HandleFunc("GET /datasets/{name}", s.handleDataset)
+	mux.HandleFunc("GET /datasets/{name}/objects/{id}", s.handleObject)
+	mux.HandleFunc("POST /query/intersect", s.handleIntersect)
+	mux.HandleFunc("POST /query/within", s.handleWithin)
+	mux.HandleFunc("POST /query/nn", s.handleNN)
+	mux.HandleFunc("POST /query/range", s.handleRange)
+	mux.HandleFunc("POST /query/point", s.handlePoint)
+	return mux
+}
+
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *httpError {
+	return &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func notFound(format string, args ...any) *httpError {
+	return &httpError{code: http.StatusNotFound, msg: fmt.Sprintf(format, args...)}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	if he, ok := err.(*httpError); ok {
+		code = he.code
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// datasetInfo is the JSON shape of one dataset.
+type datasetInfo struct {
+	Name            string     `json:"name"`
+	Objects         int        `json:"objects"`
+	MaxLOD          int        `json:"max_lod"`
+	CompressedBytes int64      `json:"compressed_bytes"`
+	Bounds          [6]float64 `json:"bounds"` // minx,miny,minz,maxx,maxy,maxz
+}
+
+func info(d *core.Dataset) datasetInfo {
+	b := d.Tree().Bounds()
+	return datasetInfo{
+		Name:            d.Name,
+		Objects:         d.Len(),
+		MaxLOD:          d.MaxLOD(),
+		CompressedBytes: d.CompressedBytes(),
+		Bounds:          [6]float64{b.Min.X, b.Min.Y, b.Min.Z, b.Max.X, b.Max.Y, b.Max.Z},
+	}
+}
+
+func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.datasets))
+	for name := range s.datasets {
+		names = append(names, name)
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+	out := make([]datasetInfo, 0, len(names))
+	for _, n := range names {
+		if d, ok := s.dataset(n); ok {
+			out = append(out, info(d))
+		}
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.dataset(r.PathValue("name"))
+	if !ok {
+		writeErr(w, notFound("dataset %q not loaded", r.PathValue("name")))
+		return
+	}
+	writeJSON(w, info(d))
+}
+
+func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.dataset(r.PathValue("name"))
+	if !ok {
+		writeErr(w, notFound("dataset %q not loaded", r.PathValue("name")))
+		return
+	}
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil || d.Tileset.Object(id) == nil {
+		writeErr(w, notFound("object %q not in dataset", r.PathValue("id")))
+		return
+	}
+	comp := d.Tileset.Object(id).Comp
+	lod := comp.MaxLOD()
+	if ls := r.URL.Query().Get("lod"); ls != "" {
+		l, err := strconv.Atoi(ls)
+		if err != nil || l < 0 || l > comp.MaxLOD() {
+			writeErr(w, badRequest("lod must be in [0,%d]", comp.MaxLOD()))
+			return
+		}
+		lod = l
+	}
+	m, err := comp.Decode(lod)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "off":
+		w.Header().Set("Content-Type", "text/plain")
+		m.WriteOFF(w)
+	case "ply":
+		w.Header().Set("Content-Type", "text/plain")
+		m.WritePLY(w)
+	case "", "json":
+		verts := make([][3]float64, len(m.Vertices))
+		for i, v := range m.Vertices {
+			verts[i] = [3]float64{v.X, v.Y, v.Z}
+		}
+		faces := make([][3]int32, len(m.Faces))
+		for i, f := range m.Faces {
+			faces[i] = [3]int32(f)
+		}
+		writeJSON(w, map[string]any{
+			"lod":      lod,
+			"vertices": verts,
+			"faces":    faces,
+			"volume":   m.Volume(),
+		})
+	default:
+		writeErr(w, badRequest("unknown format %q", format))
+	}
+}
+
+// queryRequest is the shared JSON body of the join endpoints.
+type queryRequest struct {
+	Target   string     `json:"target"`
+	Source   string     `json:"source"`
+	Dataset  string     `json:"dataset"`
+	Paradigm string     `json:"paradigm"` // "fr" | "fpr" (default fpr)
+	Accel    string     `json:"accel"`    // brute|aabb|partition|gpu|partition+gpu
+	Dist     float64    `json:"dist"`
+	K        int        `json:"k"`
+	LODs     []int      `json:"lods"`
+	Point    [3]float64 `json:"point"`
+	Min      [3]float64 `json:"min"`
+	Max      [3]float64 `json:"max"`
+}
+
+func (s *Server) parseJoin(r *http.Request) (*core.Dataset, *core.Dataset, core.QueryOptions, queryRequest, error) {
+	var req queryRequest
+	var q core.QueryOptions
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return nil, nil, q, req, badRequest("invalid JSON body: %v", err)
+	}
+	target, ok := s.dataset(req.Target)
+	if !ok {
+		return nil, nil, q, req, notFound("target dataset %q not loaded", req.Target)
+	}
+	source, ok := s.dataset(req.Source)
+	if !ok {
+		return nil, nil, q, req, notFound("source dataset %q not loaded", req.Source)
+	}
+	q, err := options(req)
+	return target, source, q, req, err
+}
+
+func options(req queryRequest) (core.QueryOptions, error) {
+	q := core.QueryOptions{Paradigm: core.FPR, K: req.K, LODs: req.LODs}
+	switch req.Paradigm {
+	case "", "fpr":
+	case "fr":
+		q.Paradigm = core.FR
+	default:
+		return q, badRequest("unknown paradigm %q", req.Paradigm)
+	}
+	switch req.Accel {
+	case "", "aabb":
+		q.Accel = core.AABB
+	case "brute":
+		q.Accel = core.BruteForce
+	case "partition":
+		q.Accel = core.Partition
+	case "gpu":
+		q.Accel = core.GPU
+	case "partition+gpu":
+		q.Accel = core.PartitionGPU
+	default:
+		return q, badRequest("unknown accel %q", req.Accel)
+	}
+	return q, nil
+}
+
+// statsJSON is the serialized execution statistics.
+type statsJSON struct {
+	ElapsedMS  float64 `json:"elapsed_ms"`
+	FilterMS   float64 `json:"filter_ms"`
+	DecodeMS   float64 `json:"decode_ms"`
+	GeomMS     float64 `json:"geom_ms"`
+	Candidates int64   `json:"candidates"`
+	Results    int64   `json:"results"`
+	Decodes    int64   `json:"decodes"`
+	CacheHits  int64   `json:"cache_hits"`
+	Evaluated  []int64 `json:"pairs_evaluated_per_lod"`
+	Pruned     []int64 `json:"pairs_pruned_per_lod"`
+}
+
+func statsOut(st *core.Stats) statsJSON {
+	return statsJSON{
+		ElapsedMS:  float64(st.Elapsed) / float64(time.Millisecond),
+		FilterMS:   float64(st.FilterTime) / float64(time.Millisecond),
+		DecodeMS:   float64(st.DecodeTime) / float64(time.Millisecond),
+		GeomMS:     float64(st.GeomTime) / float64(time.Millisecond),
+		Candidates: st.Candidates,
+		Results:    st.Results,
+		Decodes:    st.Decodes,
+		CacheHits:  st.CacheHits,
+		Evaluated:  st.PairsEvaluated,
+		Pruned:     st.PairsPruned,
+	}
+}
+
+func (s *Server) handleIntersect(w http.ResponseWriter, r *http.Request) {
+	target, source, q, _, err := s.parseJoin(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	pairs, stats, err := s.eng.IntersectJoin(r.Context(), target, source, q)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, map[string]any{"pairs": pairs, "stats": statsOut(stats)})
+}
+
+func (s *Server) handleWithin(w http.ResponseWriter, r *http.Request) {
+	target, source, q, req, err := s.parseJoin(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if req.Dist <= 0 {
+		writeErr(w, badRequest("dist must be positive"))
+		return
+	}
+	pairs, stats, err := s.eng.WithinJoin(r.Context(), target, source, req.Dist, q)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, map[string]any{"pairs": pairs, "stats": statsOut(stats)})
+}
+
+func (s *Server) handleNN(w http.ResponseWriter, r *http.Request) {
+	target, source, q, _, err := s.parseJoin(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	ns, stats, err := s.eng.KNNJoin(r.Context(), target, source, q)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, map[string]any{"neighbors": ns, "stats": statsOut(stats)})
+}
+
+func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, badRequest("invalid JSON body: %v", err))
+		return
+	}
+	d, ok := s.dataset(req.Dataset)
+	if !ok {
+		writeErr(w, notFound("dataset %q not loaded", req.Dataset))
+		return
+	}
+	q, err := options(req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	box := geom.Box3{
+		Min: geom.V(req.Min[0], req.Min[1], req.Min[2]),
+		Max: geom.V(req.Max[0], req.Max[1], req.Max[2]),
+	}
+	if box.IsEmpty() {
+		writeErr(w, badRequest("empty query box"))
+		return
+	}
+	ids, stats, err := s.eng.RangeQuery(r.Context(), d, box, q)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, map[string]any{"objects": ids, "stats": statsOut(stats)})
+}
+
+func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, badRequest("invalid JSON body: %v", err))
+		return
+	}
+	d, ok := s.dataset(req.Dataset)
+	if !ok {
+		writeErr(w, notFound("dataset %q not loaded", req.Dataset))
+		return
+	}
+	q, err := options(req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	p := geom.V(req.Point[0], req.Point[1], req.Point[2])
+	ids, stats, err := s.eng.ContainingObjects(r.Context(), d, p, q)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, map[string]any{"objects": ids, "stats": statsOut(stats)})
+}

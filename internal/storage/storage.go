@@ -1,0 +1,266 @@
+// Package storage implements the memory-centered data layout of the paper's
+// §5.3: space is partitioned into fixed-size cuboids, the compressed blobs
+// of the objects in one cuboid are stored contiguously in one tile (one
+// file when persisted, one memory region when loaded), and object MBBs plus
+// blob locations are exposed so the engine can build a single global R-tree
+// over everything without decoding.
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"repro/internal/geom"
+	"repro/internal/ppvp"
+)
+
+// ErrBadTile is returned when a tile file cannot be parsed.
+var ErrBadTile = errors.New("storage: corrupt tile file")
+
+// Grid divides a space box into nx × ny × nz cuboids.
+type Grid struct {
+	Space      geom.Box3
+	Nx, Ny, Nz int
+}
+
+// NewGrid builds a grid over space with roughly the requested number of
+// cuboids, keeping cuboids close to cubical.
+func NewGrid(space geom.Box3, cuboids int) Grid {
+	if cuboids < 1 {
+		cuboids = 1
+	}
+	size := space.Size()
+	// Scale per-axis counts with the space aspect ratio.
+	vol := size.X * size.Y * size.Z
+	if vol <= 0 {
+		return Grid{Space: space, Nx: cuboids, Ny: 1, Nz: 1}
+	}
+	edge := cbrt(vol / float64(cuboids))
+	nx := maxInt(1, int(size.X/edge+0.5))
+	ny := maxInt(1, int(size.Y/edge+0.5))
+	nz := maxInt(1, int(size.Z/edge+0.5))
+	return Grid{Space: space, Nx: nx, Ny: ny, Nz: nz}
+}
+
+func cbrt(v float64) float64 {
+	if v <= 0 {
+		return 1
+	}
+	x := v
+	for i := 0; i < 40; i++ {
+		x = (2*x + v/(x*x)) / 3
+	}
+	return x
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// NumCuboids returns the total cuboid count.
+func (g Grid) NumCuboids() int { return g.Nx * g.Ny * g.Nz }
+
+// CuboidOf returns the cuboid index of a point (clamped into the grid).
+func (g Grid) CuboidOf(p geom.Vec3) int {
+	size := g.Space.Size()
+	ix := clampIdx(p.X-g.Space.Min.X, size.X, g.Nx)
+	iy := clampIdx(p.Y-g.Space.Min.Y, size.Y, g.Ny)
+	iz := clampIdx(p.Z-g.Space.Min.Z, size.Z, g.Nz)
+	return (iz*g.Ny+iy)*g.Nx + ix
+}
+
+func clampIdx(off, size float64, n int) int {
+	if size <= 0 || n <= 1 {
+		return 0
+	}
+	i := int(off / size * float64(n))
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+// CuboidBox returns the spatial extent of cuboid i.
+func (g Grid) CuboidBox(i int) geom.Box3 {
+	ix := i % g.Nx
+	iy := (i / g.Nx) % g.Ny
+	iz := i / (g.Nx * g.Ny)
+	size := g.Space.Size()
+	dx := size.X / float64(g.Nx)
+	dy := size.Y / float64(g.Ny)
+	dz := size.Z / float64(g.Nz)
+	min := geom.V(
+		g.Space.Min.X+float64(ix)*dx,
+		g.Space.Min.Y+float64(iy)*dy,
+		g.Space.Min.Z+float64(iz)*dz,
+	)
+	return geom.Box3{Min: min, Max: min.Add(geom.V(dx, dy, dz))}
+}
+
+// Object is one stored object: its ID, MBB, cuboid, and compressed form.
+type Object struct {
+	ID     int64
+	Cuboid int
+	Comp   *ppvp.Compressed
+}
+
+// MBB returns the object's minimal bounding box (from the compressed
+// header; no decoding).
+func (o *Object) MBB() geom.Box3 { return o.Comp.MBB() }
+
+// Tileset holds the objects of one dataset grouped by cuboid, all in
+// memory, mirroring the paper's load-everything-compressed design.
+type Tileset struct {
+	Grid    Grid
+	Objects []*Object         // by position; Objects[i].ID == int64(i)
+	Tiles   map[int][]*Object // cuboid → objects
+}
+
+// NewTileset groups compressed objects into cuboids by MBB center and
+// assigns sequential IDs.
+func NewTileset(grid Grid, comps []*ppvp.Compressed) *Tileset {
+	ts := &Tileset{Grid: grid, Tiles: make(map[int][]*Object)}
+	for i, c := range comps {
+		o := &Object{ID: int64(i), Cuboid: grid.CuboidOf(c.MBB().Center()), Comp: c}
+		ts.Objects = append(ts.Objects, o)
+		ts.Tiles[o.Cuboid] = append(ts.Tiles[o.Cuboid], o)
+	}
+	return ts
+}
+
+// Object returns the object with the given ID, or nil.
+func (ts *Tileset) Object(id int64) *Object {
+	if id < 0 || id >= int64(len(ts.Objects)) {
+		return nil
+	}
+	return ts.Objects[id]
+}
+
+// CompressedBytes returns the total compressed footprint of the dataset.
+func (ts *Tileset) CompressedBytes() int64 {
+	var n int64
+	for _, o := range ts.Objects {
+		n += int64(o.Comp.TotalSize())
+	}
+	return n
+}
+
+// Tile file layout: magic "3DTL", u32 count, then per object: u64 id,
+// u32 blob length, blob bytes; the file ends with a CRC-32 (IEEE) of
+// everything before it, so torn or bit-rotted tiles fail loudly at load.
+var tileMagic = [4]byte{'3', 'D', 'T', 'L'}
+
+// SaveTiles persists each cuboid's objects as one file tile-<cuboid>.bin
+// under dir (created if needed).
+func (ts *Tileset) SaveTiles(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for cuboid, objs := range ts.Tiles {
+		path := filepath.Join(dir, fmt.Sprintf("tile-%06d.bin", cuboid))
+		if err := writeTile(path, objs); err != nil {
+			return fmt.Errorf("storage: writing %s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+func writeTile(path string, objs []*Object) error {
+	var buf []byte
+	buf = append(buf, tileMagic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(objs)))
+	for _, o := range objs {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(o.ID))
+		blob := o.Comp.Bytes()
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(blob)))
+		buf = append(buf, blob...)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	return os.WriteFile(path, buf, 0o644)
+}
+
+// LoadTiles reads every tile-*.bin under dir and rebuilds a Tileset using
+// the given grid. Object IDs are taken from the files.
+func LoadTiles(dir string, grid Grid) (*Tileset, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "tile-*.bin"))
+	if err != nil {
+		return nil, err
+	}
+	byID := map[int64]*Object{}
+	var maxID int64 = -1
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		objs, err := parseTile(data)
+		if err != nil {
+			return nil, fmt.Errorf("%w (%s)", err, path)
+		}
+		for _, o := range objs {
+			byID[o.ID] = o
+			if o.ID > maxID {
+				maxID = o.ID
+			}
+		}
+	}
+	ts := &Tileset{Grid: grid, Tiles: make(map[int][]*Object)}
+	ts.Objects = make([]*Object, maxID+1)
+	for id, o := range byID {
+		o.Cuboid = grid.CuboidOf(o.MBB().Center())
+		ts.Objects[id] = o
+		ts.Tiles[o.Cuboid] = append(ts.Tiles[o.Cuboid], o)
+	}
+	for id, o := range ts.Objects {
+		if o == nil {
+			return nil, fmt.Errorf("%w: missing object %d", ErrBadTile, id)
+		}
+	}
+	return ts, nil
+}
+
+func parseTile(data []byte) ([]*Object, error) {
+	if len(data) < 12 || [4]byte(data[:4]) != tileMagic {
+		return nil, ErrBadTile
+	}
+	payload := data[:len(data)-4]
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(payload) != want {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadTile)
+	}
+	data = payload
+	count := binary.LittleEndian.Uint32(data[4:8])
+	off := 8
+	objs := make([]*Object, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if off+12 > len(data) {
+			return nil, ErrBadTile
+		}
+		id := int64(binary.LittleEndian.Uint64(data[off:]))
+		blobLen := int(binary.LittleEndian.Uint32(data[off+8:]))
+		off += 12
+		if off+blobLen > len(data) {
+			return nil, ErrBadTile
+		}
+		comp, err := ppvp.FromBytes(data[off : off+blobLen])
+		if err != nil {
+			return nil, err
+		}
+		off += blobLen
+		objs = append(objs, &Object{ID: id, Comp: comp})
+	}
+	if off != len(data) {
+		return nil, ErrBadTile
+	}
+	return objs, nil
+}

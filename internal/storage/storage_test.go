@@ -1,0 +1,207 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/mesh"
+	"repro/internal/ppvp"
+)
+
+func compress(t *testing.T, m *mesh.Mesh) *ppvp.Compressed {
+	t.Helper()
+	c, _, err := ppvp.Compress(m, ppvp.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestGridBasics(t *testing.T) {
+	space := geom.Box3{Min: geom.V(0, 0, 0), Max: geom.V(100, 100, 100)}
+	g := NewGrid(space, 27)
+	if g.NumCuboids() < 8 || g.NumCuboids() > 64 {
+		t.Errorf("NumCuboids = %d, want near 27", g.NumCuboids())
+	}
+
+	// Every point maps into range and its cuboid box contains it.
+	pts := []geom.Vec3{
+		{X: 0, Y: 0, Z: 0}, {X: 99.9, Y: 99.9, Z: 99.9}, {X: 50, Y: 1, Z: 99},
+		{X: -5, Y: 50, Z: 50}, {X: 105, Y: 50, Z: 50}, // out of range → clamped
+	}
+	for _, p := range pts {
+		i := g.CuboidOf(p)
+		if i < 0 || i >= g.NumCuboids() {
+			t.Fatalf("CuboidOf(%v) = %d out of range", p, i)
+		}
+		box := g.CuboidBox(i)
+		clamped := space.ClosestPoint(p)
+		if !box.Expand(1e-9).ContainsPoint(clamped) {
+			t.Fatalf("cuboid %d box %v does not contain %v", i, box, clamped)
+		}
+	}
+
+	// Cuboid boxes tile the space.
+	var vol float64
+	for i := 0; i < g.NumCuboids(); i++ {
+		vol += g.CuboidBox(i).Volume()
+	}
+	if diff := vol - space.Volume(); diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("cuboid volumes sum to %v, space is %v", vol, space.Volume())
+	}
+}
+
+func TestGridDegenerate(t *testing.T) {
+	g := NewGrid(geom.EmptyBox(), 10)
+	if g.NumCuboids() < 1 {
+		t.Error("degenerate grid has no cuboids")
+	}
+	if i := g.CuboidOf(geom.V(1, 2, 3)); i < 0 || i >= g.NumCuboids() {
+		t.Errorf("CuboidOf on degenerate grid = %d", i)
+	}
+	if NewGrid(geom.Box3{}, 0).NumCuboids() < 1 {
+		t.Error("zero-cuboid request not clamped")
+	}
+}
+
+func TestTilesetGrouping(t *testing.T) {
+	space := geom.Box3{Min: geom.V(0, 0, 0), Max: geom.V(40, 40, 40)}
+	grid := NewGrid(space, 8)
+
+	var comps []*ppvp.Compressed
+	centers := []geom.Vec3{{X: 5, Y: 5, Z: 5}, {X: 35, Y: 5, Z: 5}, {X: 5, Y: 35, Z: 35}, {X: 6, Y: 6, Z: 6}}
+	for _, c := range centers {
+		m := mesh.Icosphere(2, 2)
+		m.Translate(c)
+		comps = append(comps, compress(t, m))
+	}
+	ts := NewTileset(grid, comps)
+
+	if len(ts.Objects) != 4 {
+		t.Fatalf("objects = %d", len(ts.Objects))
+	}
+	for i, o := range ts.Objects {
+		if o.ID != int64(i) {
+			t.Errorf("object %d has ID %d", i, o.ID)
+		}
+		if ts.Object(o.ID) != o {
+			t.Error("Object lookup broken")
+		}
+	}
+	if ts.Object(-1) != nil || ts.Object(99) != nil {
+		t.Error("out-of-range lookup should return nil")
+	}
+	// Objects at (5,5,5) and (6,6,6) share a cuboid; (35,5,5) does not.
+	if ts.Objects[0].Cuboid != ts.Objects[3].Cuboid {
+		t.Error("nearby objects in different cuboids")
+	}
+	if ts.Objects[0].Cuboid == ts.Objects[1].Cuboid {
+		t.Error("distant objects share a cuboid")
+	}
+	if ts.CompressedBytes() <= 0 {
+		t.Error("CompressedBytes not positive")
+	}
+}
+
+func TestSaveLoadTiles(t *testing.T) {
+	dir := t.TempDir()
+	space := geom.Box3{Min: geom.V(0, 0, 0), Max: geom.V(40, 40, 40)}
+	grid := NewGrid(space, 8)
+
+	var comps []*ppvp.Compressed
+	for i := 0; i < 6; i++ {
+		m := mesh.Icosphere(1.5, 2)
+		m.Translate(geom.V(float64(i)*6+3, 20, 20))
+		comps = append(comps, compress(t, m))
+	}
+	ts := NewTileset(grid, comps)
+	if err := ts.SaveTiles(dir); err != nil {
+		t.Fatalf("SaveTiles: %v", err)
+	}
+
+	got, err := LoadTiles(dir, grid)
+	if err != nil {
+		t.Fatalf("LoadTiles: %v", err)
+	}
+	if len(got.Objects) != len(ts.Objects) {
+		t.Fatalf("loaded %d objects, want %d", len(got.Objects), len(ts.Objects))
+	}
+	for i := range ts.Objects {
+		a, b := ts.Objects[i], got.Objects[i]
+		if a.ID != b.ID || a.Cuboid != b.Cuboid {
+			t.Fatalf("object %d metadata mismatch", i)
+		}
+		if a.MBB() != b.MBB() {
+			t.Fatalf("object %d MBB mismatch", i)
+		}
+		// Decoded geometry identical.
+		ma, err := a.Comp.Decode(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mb, err := b.Comp.Decode(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ma.NumFaces() != mb.NumFaces() {
+			t.Fatalf("object %d decode mismatch", i)
+		}
+	}
+}
+
+func TestLoadTilesRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	grid := NewGrid(geom.Box3{Min: geom.V(0, 0, 0), Max: geom.V(10, 10, 10)}, 1)
+
+	if err := os.WriteFile(filepath.Join(dir, "tile-000000.bin"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTiles(dir, grid); err == nil {
+		t.Error("garbage tile accepted")
+	}
+}
+
+func TestLoadTilesEmptyDir(t *testing.T) {
+	grid := NewGrid(geom.Box3{Min: geom.V(0, 0, 0), Max: geom.V(10, 10, 10)}, 1)
+	ts, err := LoadTiles(t.TempDir(), grid)
+	if err != nil {
+		t.Fatalf("empty dir: %v", err)
+	}
+	if len(ts.Objects) != 0 {
+		t.Error("objects from empty dir")
+	}
+}
+
+func TestTileChecksumDetectsBitrot(t *testing.T) {
+	dir := t.TempDir()
+	space := geom.Box3{Min: geom.V(0, 0, 0), Max: geom.V(10, 10, 10)}
+	grid := NewGrid(space, 1)
+	m := mesh.Icosphere(2, 1)
+	m.Translate(geom.V(5, 5, 5))
+	ts := NewTileset(grid, []*ppvp.Compressed{compress(t, m)})
+	if err := ts.SaveTiles(dir); err != nil {
+		t.Fatal(err)
+	}
+	paths, _ := filepath.Glob(filepath.Join(dir, "tile-*.bin"))
+	if len(paths) != 1 {
+		t.Fatalf("tiles = %d", len(paths))
+	}
+	data, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clean load works.
+	if _, err := LoadTiles(dir, grid); err != nil {
+		t.Fatalf("clean load: %v", err)
+	}
+	// Flip one bit in the middle of the payload.
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(paths[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTiles(dir, grid); err == nil {
+		t.Error("bit-rotted tile accepted")
+	}
+}
