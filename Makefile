@@ -1,0 +1,27 @@
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: build test vet race fuzz-short fuzz ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Run just the seed corpus of every fuzz target (fast, deterministic; what CI runs).
+fuzz-short:
+	$(GO) test -run='^Fuzz' ./internal/ppvp ./internal/storage
+
+# Actual coverage-guided fuzzing, $(FUZZTIME) per target.
+fuzz:
+	$(GO) test -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/ppvp
+	$(GO) test -fuzz=FuzzDecodeTile -fuzztime=$(FUZZTIME) ./internal/storage
+
+ci: vet race fuzz-short

@@ -6,18 +6,29 @@
 //	3dpro-server -addr :8080 -dataset nuclei=./nuclei-ds -dataset vessels=./vessel-ds
 //	3dpro-server -demo
 //
+// The server runs hardened for production: per-query deadlines
+// (-query-timeout), admission control (-max-inflight), request body limits
+// (-max-body-bytes), /healthz and /readyz probes, per-request panic
+// isolation, and graceful draining on SIGINT/SIGTERM (-shutdown-grace).
+// Fault injection for resilience testing is available via -faults or the
+// _3DPRO_FAULTS environment variable (see internal/faultinject).
+//
 // See internal/server for the API.
 package main
 
 import (
+	"context"
 	"flag"
-	"fmt"
 	"log"
-	"net/http"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/faultinject"
 	"repro/internal/server"
 )
 
@@ -30,12 +41,33 @@ func main() {
 	var datasets datasetFlags
 	addr := flag.String("addr", "127.0.0.1:7333", "listen address")
 	demo := flag.Bool("demo", false, "load a synthetic tissue demo (datasets 'nuclei' and 'vessels')")
+	queryTimeout := flag.Duration("query-timeout", 30*time.Second, "per-query deadline (0 disables)")
+	maxInFlight := flag.Int("max-inflight", 0, "max concurrently admitted queries (default 2×GOMAXPROCS)")
+	maxBodyBytes := flag.Int64("max-body-bytes", 1<<20, "request body size limit in bytes")
+	shutdownGrace := flag.Duration("shutdown-grace", 15*time.Second, "drain allowance on SIGINT/SIGTERM")
+	faults := flag.String("faults", "", "fault-injection spec, e.g. 'ppvp.decode=sleep:50ms' (also env "+faultinject.EnvVar+")")
 	flag.Var(&datasets, "dataset", "name=dir of a persisted dataset (repeatable)")
 	flag.Parse()
 
+	if *faults != "" {
+		if err := faultinject.Parse(*faults); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	cfg := server.Config{
+		QueryTimeout:  *queryTimeout,
+		MaxInFlight:   *maxInFlight,
+		MaxBodyBytes:  *maxBodyBytes,
+		ShutdownGrace: *shutdownGrace,
+	}
+	if *queryTimeout == 0 {
+		cfg.QueryTimeout = -1 // flag 0 = disabled; Config 0 = default
+	}
+
 	eng := core.NewEngine(core.EngineOptions{})
 	defer eng.Close()
-	srv := server.New(eng)
+	srv := server.NewWithConfig(eng, cfg)
 
 	loaded := 0
 	for _, spec := range datasets {
@@ -74,6 +106,11 @@ func main() {
 		log.Fatal("no datasets: pass -dataset name=dir or -demo")
 	}
 
-	fmt.Printf("3dpro-server listening on http://%s\n", *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("3dpro-server listening on http://%s", *addr)
+	if err := srv.Run(ctx, *addr); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("3dpro-server: clean shutdown")
 }

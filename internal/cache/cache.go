@@ -13,6 +13,7 @@ package cache
 
 import (
 	"container/list"
+	"fmt"
 	"sync"
 
 	"repro/internal/mesh"
@@ -94,7 +95,22 @@ func (c *Cache) GetOrDecode(key Key, decode func() (*mesh.Mesh, error)) (*mesh.M
 	c.stats.Misses++
 	c.mu.Unlock()
 
-	m, err := decode()
+	// If decode panics, fail the entry before letting the panic continue:
+	// otherwise its ready channel never closes and every later request for
+	// this key blocks forever.
+	m, err := func() (m *mesh.Mesh, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				c.mu.Lock()
+				e.err = fmt.Errorf("cache: decode panicked: %v", r)
+				close(e.ready)
+				delete(c.entries, key)
+				c.mu.Unlock()
+				panic(r)
+			}
+		}()
+		return decode()
+	}()
 
 	c.mu.Lock()
 	e.mesh, e.err = m, err

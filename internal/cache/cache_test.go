@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/mesh"
 )
@@ -193,4 +194,49 @@ func TestConcurrentMixedAccess(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
+}
+
+// TestDecodePanicDoesNotPoisonKey: a decode that panics must unblock
+// concurrent waiters with an error and leave the key retryable — not a
+// permanently hung entry.
+func TestDecodePanicDoesNotPoisonKey(t *testing.T) {
+	c := New(1 << 20)
+	key := Key{7, 1}
+
+	entered := make(chan struct{})
+	waiterDone := make(chan error, 1)
+	go func() {
+		<-entered
+		// Second caller for the same key: must not block forever.
+		_, err := c.GetOrDecode(key, func() (*mesh.Mesh, error) { return sphere(1), nil })
+		waiterDone <- err
+	}()
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic did not propagate")
+			}
+		}()
+		c.GetOrDecode(key, func() (*mesh.Mesh, error) {
+			close(entered)
+			time.Sleep(10 * time.Millisecond) // let the waiter attach
+			panic("decode exploded")
+		})
+	}()
+
+	// The waiter either attached to the failed entry (error) or arrived
+	// after cleanup and decoded fresh (nil); both are fine — what must
+	// never happen is a hang.
+	select {
+	case <-waiterDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter deadlocked on panicked decode")
+	}
+
+	// The key must be retryable afterwards.
+	m, err := c.GetOrDecode(key, func() (*mesh.Mesh, error) { return sphere(1), nil })
+	if err != nil || m == nil {
+		t.Fatalf("retry after panic: %v", err)
+	}
 }

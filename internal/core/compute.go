@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/faultinject"
 	"repro/internal/geom"
 	"repro/internal/index/aabbtree"
 	"repro/internal/mesh"
@@ -68,6 +69,9 @@ func (c *evalCtx) decode(ds *Dataset, id int64, lod int) (obj, error) {
 	missed := false
 	m, err := c.e.cache.GetOrDecode(key, func() (*mesh.Mesh, error) {
 		missed = true
+		if err := faultinject.Fire(faultinject.PointCoreDecode); err != nil {
+			return nil, err
+		}
 		t0 := time.Now()
 		defer func() { c.col.decodeNs.Add(time.Since(t0).Nanoseconds()) }()
 		c.col.decodes.Add(1)

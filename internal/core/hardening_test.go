@@ -1,0 +1,146 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// slowEngine returns an engine with the decode cache disabled so every
+// decode passes through the core.decode fault-injection point.
+func slowEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := NewEngine(EngineOptions{CacheBytes: -1, Workers: 4, GPUWorkers: 2, GPUBatch: 512})
+	t.Cleanup(e.Close)
+	return e
+}
+
+// armSlowDecodes makes every decode sleep and closes the returned channel
+// when the first decode begins, so tests can cancel a join that is
+// provably mid-flight.
+func armSlowDecodes(delay time.Duration) <-chan struct{} {
+	started := make(chan struct{})
+	var once sync.Once
+	faultinject.Arm(faultinject.PointCoreDecode, faultinject.Fault{Hook: func() error {
+		once.Do(func() { close(started) })
+		time.Sleep(delay)
+		return nil
+	}})
+	return started
+}
+
+// TestJoinCancelledMidJoin cancels a context while each join kind is in the
+// middle of decoding and asserts the join returns context.Canceled within a
+// bounded wall-clock, not after finishing the remaining work.
+func TestJoinCancelledMidJoin(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	e := slowEngine(t)
+	// The overlapping pair guarantees refinement work (and thus decodes)
+	// for every join kind. Within's disjoint-interior precondition is
+	// irrelevant here: the query never completes.
+	a, b := buildPair(t, e)
+
+	joins := map[string]func(ctx context.Context) error{
+		"intersect": func(ctx context.Context) error {
+			_, _, err := e.IntersectJoin(ctx, a, b, QueryOptions{})
+			return err
+		},
+		"within": func(ctx context.Context) error {
+			_, _, err := e.WithinJoin(ctx, a, b, 5, QueryOptions{})
+			return err
+		},
+		"knn": func(ctx context.Context) error {
+			_, _, err := e.KNNJoin(ctx, a, b, QueryOptions{K: 2})
+			return err
+		},
+	}
+	for name, join := range joins {
+		t.Run(name, func(t *testing.T) {
+			started := armSlowDecodes(3 * time.Millisecond)
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			go func() {
+				select {
+				case <-started:
+				case <-time.After(5 * time.Second):
+				}
+				cancel()
+			}()
+			t0 := time.Now()
+			err := join(ctx)
+			elapsed := time.Since(t0)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			if elapsed > 2*time.Second {
+				t.Fatalf("join took %v after cancellation", elapsed)
+			}
+		})
+	}
+}
+
+// TestJoinDeadlineExceeded checks a context deadline surfaces as
+// context.DeadlineExceeded instead of running unbounded.
+func TestJoinDeadlineExceeded(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	e := slowEngine(t)
+	a, b := buildPair(t, e)
+	armSlowDecodes(3 * time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	_, _, err := e.IntersectJoin(ctx, a, b, QueryOptions{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(t0); elapsed > 2*time.Second {
+		t.Fatalf("join took %v after deadline", elapsed)
+	}
+}
+
+// TestWorkerPanicBecomesError forces a panic inside one decode worker and
+// asserts it fails only that query; the engine keeps answering.
+func TestWorkerPanicBecomesError(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	e := slowEngine(t)
+	a, b := buildPair(t, e)
+
+	faultinject.Arm(faultinject.PointCoreDecode, faultinject.Fault{Panic: "decode blew up", Times: 1})
+	_, _, err := e.IntersectJoin(context.Background(), a, b, QueryOptions{})
+	if err == nil {
+		t.Fatal("join with injected panic returned nil error")
+	}
+	if !strings.Contains(err.Error(), "worker panic") || !strings.Contains(err.Error(), "decode blew up") {
+		t.Fatalf("panic not surfaced in error: %v", err)
+	}
+
+	// The fault is spent; the same engine must now answer correctly.
+	pairs, _, err := e.IntersectJoin(context.Background(), a, b, QueryOptions{})
+	if err != nil {
+		t.Fatalf("join after recovered panic: %v", err)
+	}
+	if len(pairs) == 0 {
+		t.Fatal("overlapping pair produced no intersections after recovery")
+	}
+}
+
+// TestInjectedDecodeError checks an injected (non-panic) decode error also
+// aborts the query cleanly.
+func TestInjectedDecodeError(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	e := slowEngine(t)
+	a, b := buildPair(t, e)
+	faultinject.Arm(faultinject.PointCoreDecode, faultinject.Fault{
+		Err: faultinject.ErrInjected, Times: 1,
+	})
+	_, _, err := e.IntersectJoin(context.Background(), a, b, QueryOptions{})
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+}

@@ -2,6 +2,8 @@ package core
 
 import (
 	"context"
+	"fmt"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"time"
@@ -12,12 +14,20 @@ import (
 // runPerTarget executes fn for every object of the target dataset,
 // parallelized over cuboids so that objects sharing a cuboid are processed
 // together — the batching of §5.3 that gives the decode cache its spatial
-// locality. The first error aborts remaining work (already running cuboids
-// finish).
+// locality.
+//
+// The first error (or a cancellation of ctx) cancels a derived context, so
+// the spawning loop and every worker abort promptly; already-running fn
+// calls finish. A panic inside fn — a bad geometry, a corrupt blob tripping
+// an unchecked path — is recovered per object and surfaces as an error for
+// this query instead of crashing the process.
 func runPerTarget(ctx context.Context, target *Dataset, workers int, fn func(o *storage.Object) error) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	ctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+
 	cuboids := make([]int, 0, len(target.Tileset.Tiles))
 	for c := range target.Tileset.Tiles {
 		cuboids = append(cuboids, c)
@@ -25,46 +35,59 @@ func runPerTarget(ctx context.Context, target *Dataset, workers int, fn func(o *
 	sort.Ints(cuboids)
 
 	var (
-		wg      sync.WaitGroup
-		mu      sync.Mutex
-		firstEr error
+		wg       sync.WaitGroup
+		once     sync.Once
+		firstErr error
 	)
+	fail := func(err error) {
+		once.Do(func() {
+			firstErr = err
+			cancel(err)
+		})
+	}
 	sem := make(chan struct{}, workers)
+spawn:
 	for _, c := range cuboids {
 		objs := target.Tileset.Tiles[c]
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			break spawn
+		}
 		wg.Add(1)
-		sem <- struct{}{}
 		go func(objs []*storage.Object) {
 			defer wg.Done()
 			defer func() { <-sem }()
 			for _, o := range objs {
-				if err := ctx.Err(); err != nil {
-					mu.Lock()
-					if firstEr == nil {
-						firstEr = err
-					}
-					mu.Unlock()
+				if ctx.Err() != nil {
 					return
 				}
-				mu.Lock()
-				abort := firstEr != nil
-				mu.Unlock()
-				if abort {
-					return
-				}
-				if err := fn(o); err != nil {
-					mu.Lock()
-					if firstEr == nil {
-						firstEr = err
-					}
-					mu.Unlock()
+				if err := callRecovered(fn, o); err != nil {
+					fail(err)
 					return
 				}
 			}
 		}(objs)
 	}
 	wg.Wait()
-	return firstEr
+	if firstErr != nil {
+		return firstErr
+	}
+	if ctx.Err() != nil {
+		return context.Cause(ctx)
+	}
+	return nil
+}
+
+// callRecovered runs fn(o), converting a panic into an error so one bad
+// object fails the query, not the process.
+func callRecovered(fn func(o *storage.Object) error, o *storage.Object) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: worker panic on object %d: %v\n%s", o.ID, r, debug.Stack())
+		}
+	}()
+	return fn(o)
 }
 
 // resultSink collects pairs from concurrent workers and returns them in a

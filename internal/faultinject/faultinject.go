@@ -1,0 +1,236 @@
+// Package faultinject provides gated fault-injection points for resilience
+// testing: the storage, ppvp, and core packages call into it at well-known
+// points, and tests (or an operator, via the _3DPRO_FAULTS environment
+// variable or the server's -faults flag) arm faults at those points to
+// simulate corrupt tile bytes, slow decodes, injected errors, and forced
+// panics.
+//
+// When nothing is armed — the production state — every hook reduces to a
+// single atomic load, so the injection points are effectively free.
+//
+// Known points:
+//
+//	core.decode   — the engine's per-object decode (Fire: error/panic/sleep)
+//	ppvp.decode   — progressive mesh decoding (Fire: error/panic/sleep)
+//	storage.tile  — tile file parsing (Corrupt: bit-flips the bytes)
+//
+// Spec strings (_3DPRO_FAULTS, -faults) are comma-separated point=mode items:
+//
+//	_3DPRO_FAULTS='ppvp.decode=sleep:50ms,core.decode=panic'
+//
+// with modes error[:msg], panic[:msg], sleep:duration, and corrupt.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Canonical injection-point names. Call sites use these constants so tests
+// and operators can discover them.
+const (
+	PointCoreDecode  = "core.decode"
+	PointPPVPDecode  = "ppvp.decode"
+	PointStorageTile = "storage.tile"
+)
+
+// EnvVar is the environment variable parsed at process start.
+const EnvVar = "_3DPRO_FAULTS"
+
+// ErrInjected is the base error of faults armed in error mode; injected
+// errors satisfy errors.Is(err, ErrInjected).
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Fault describes what happens when an armed point fires.
+type Fault struct {
+	// Delay, if positive, makes the firing sleep first.
+	Delay time.Duration
+	// Err, if non-nil, is returned by Fire.
+	Err error
+	// Panic, if non-empty, makes the firing panic with this message.
+	Panic string
+	// Corrupt makes Corrupt flip bytes of the data passing through.
+	Corrupt bool
+	// Hook, if non-nil, is called by Fire after Delay and before
+	// Panic/Err are applied; it may block (tests use this to hold a
+	// request inside the engine deterministically). A non-nil return
+	// short-circuits Fire.
+	Hook func() error
+	// Times bounds how often the fault fires; 0 means unlimited. The
+	// point disarms itself after the last firing.
+	Times int
+}
+
+var (
+	armed  atomic.Int32 // number of armed points; the fast-path gate
+	mu     sync.Mutex
+	points map[string]*state
+)
+
+type state struct {
+	f    Fault
+	left int
+}
+
+// Enabled reports whether any point is armed. Call sites may use it to skip
+// preparing arguments for a hook; the hooks themselves are already gated.
+func Enabled() bool { return armed.Load() > 0 }
+
+// Arm installs (or replaces) the fault at a point.
+func Arm(point string, f Fault) {
+	mu.Lock()
+	defer mu.Unlock()
+	if points == nil {
+		points = make(map[string]*state)
+	}
+	if _, ok := points[point]; !ok {
+		armed.Add(1)
+	}
+	points[point] = &state{f: f, left: f.Times}
+}
+
+// Disarm removes the fault at a point, if any.
+func Disarm(point string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := points[point]; ok {
+		delete(points, point)
+		armed.Add(-1)
+	}
+}
+
+// Reset disarms every point.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	armed.Add(-int32(len(points)))
+	points = nil
+}
+
+// take consumes one firing of the fault at point, disarming it when its
+// Times budget runs out.
+func take(point string) (Fault, bool) {
+	mu.Lock()
+	defer mu.Unlock()
+	st, ok := points[point]
+	if !ok {
+		return Fault{}, false
+	}
+	if st.f.Times > 0 {
+		st.left--
+		if st.left <= 0 {
+			delete(points, point)
+			armed.Add(-1)
+		}
+	}
+	return st.f, true
+}
+
+// Fire triggers the fault armed at point: it sleeps Delay, runs Hook,
+// panics if Panic is set, and returns Err. With nothing armed it is a
+// single atomic load.
+func Fire(point string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	f, ok := take(point)
+	if !ok {
+		return nil
+	}
+	if f.Delay > 0 {
+		time.Sleep(f.Delay)
+	}
+	if f.Hook != nil {
+		if err := f.Hook(); err != nil {
+			return err
+		}
+	}
+	if f.Panic != "" {
+		panic("faultinject: " + f.Panic)
+	}
+	return f.Err
+}
+
+// Corrupt passes data through the fault armed at point: a Corrupt fault
+// returns a bit-flipped copy (the input is never modified); Panic and Delay
+// apply as in Fire. With nothing armed it returns data untouched after a
+// single atomic load.
+func Corrupt(point string, data []byte) []byte {
+	if armed.Load() == 0 {
+		return data
+	}
+	f, ok := take(point)
+	if !ok {
+		return data
+	}
+	if f.Delay > 0 {
+		time.Sleep(f.Delay)
+	}
+	if f.Panic != "" {
+		panic("faultinject: " + f.Panic)
+	}
+	if !f.Corrupt || len(data) == 0 {
+		return data
+	}
+	out := append([]byte(nil), data...)
+	// Deterministic damage: flip bytes at a few interior offsets, enough to
+	// defeat any checksum without depending on a RNG.
+	for _, at := range []int{len(out) / 4, len(out) / 2, 3 * len(out) / 4} {
+		out[at] ^= 0x5A
+	}
+	return out
+}
+
+// Parse arms faults from a spec string: comma-separated point=mode items,
+// where mode is error[:msg], panic[:msg], sleep:duration, or corrupt.
+func Parse(spec string) error {
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		point, mode, ok := strings.Cut(item, "=")
+		if !ok || point == "" {
+			return fmt.Errorf("faultinject: bad spec item %q, want point=mode", item)
+		}
+		verb, arg, _ := strings.Cut(mode, ":")
+		var f Fault
+		switch verb {
+		case "error":
+			if arg == "" {
+				arg = point
+			}
+			f.Err = fmt.Errorf("%w: %s", ErrInjected, arg)
+		case "panic":
+			if arg == "" {
+				arg = "injected panic at " + point
+			}
+			f.Panic = arg
+		case "sleep":
+			d, err := time.ParseDuration(arg)
+			if err != nil {
+				return fmt.Errorf("faultinject: bad sleep duration in %q: %v", item, err)
+			}
+			f.Delay = d
+		case "corrupt":
+			f.Corrupt = true
+		default:
+			return fmt.Errorf("faultinject: unknown mode %q in %q", verb, item)
+		}
+		Arm(point, f)
+	}
+	return nil
+}
+
+func init() {
+	if spec := os.Getenv(EnvVar); spec != "" {
+		if err := Parse(spec); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v (ignored)\n", EnvVar, err)
+		}
+	}
+}

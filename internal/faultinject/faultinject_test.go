@@ -1,0 +1,121 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisabledIsNoop(t *testing.T) {
+	Reset()
+	if Enabled() {
+		t.Fatal("enabled with nothing armed")
+	}
+	if err := Fire("core.decode"); err != nil {
+		t.Fatalf("Fire with nothing armed: %v", err)
+	}
+	data := []byte("hello")
+	if out := Corrupt("storage.tile", data); !bytes.Equal(out, data) {
+		t.Fatalf("Corrupt with nothing armed changed data: %q", out)
+	}
+}
+
+func TestErrorFaultAndTimes(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm("p", Fault{Err: errors.New("boom"), Times: 2})
+	if !Enabled() {
+		t.Fatal("not enabled after Arm")
+	}
+	for i := 0; i < 2; i++ {
+		if err := Fire("p"); err == nil || err.Error() != "boom" {
+			t.Fatalf("firing %d: %v", i, err)
+		}
+	}
+	if err := Fire("p"); err != nil {
+		t.Fatalf("fault should have disarmed after 2 firings: %v", err)
+	}
+	if Enabled() {
+		t.Fatal("still enabled after self-disarm")
+	}
+}
+
+func TestPanicFault(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm("p", Fault{Panic: "kaboom", Times: 1})
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Fire("p")
+}
+
+func TestSleepFault(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm("p", Fault{Delay: 30 * time.Millisecond, Times: 1})
+	t0 := time.Now()
+	if err := Fire("p"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(t0); d < 20*time.Millisecond {
+		t.Fatalf("slept only %v", d)
+	}
+}
+
+func TestHookFault(t *testing.T) {
+	t.Cleanup(Reset)
+	called := false
+	Arm("p", Fault{Hook: func() error { called = true; return errors.New("from hook") }})
+	if err := Fire("p"); err == nil || err.Error() != "from hook" {
+		t.Fatalf("hook error: %v", err)
+	}
+	if !called {
+		t.Fatal("hook not called")
+	}
+}
+
+func TestCorruptFault(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm("p", Fault{Corrupt: true})
+	data := []byte("a perfectly healthy tile file payload")
+	orig := append([]byte(nil), data...)
+	out := Corrupt("p", data)
+	if bytes.Equal(out, data) {
+		t.Fatal("data not corrupted")
+	}
+	if !bytes.Equal(data, orig) {
+		t.Fatal("input modified in place")
+	}
+}
+
+func TestParse(t *testing.T) {
+	t.Cleanup(Reset)
+	spec := "a=error:bad, b=sleep:1ms ,c=panic:oh no,d=corrupt"
+	if err := Parse(spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := Fire("a"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("a: %v", err)
+	}
+	if err := Fire("b"); err != nil {
+		t.Fatalf("b: %v", err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("c did not panic")
+			}
+		}()
+		Fire("c")
+	}()
+	if out := Corrupt("d", []byte("0123456789")); bytes.Equal(out, []byte("0123456789")) {
+		t.Error("d did not corrupt")
+	}
+
+	for _, bad := range []string{"noequals", "x=launch", "y=sleep:fast"} {
+		if err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package ppvp
 import (
 	"fmt"
 
+	"repro/internal/faultinject"
 	"repro/internal/geom"
 	"repro/internal/mesh"
 )
@@ -25,16 +26,39 @@ func (c *Compressed) NewDecoder() (*Decoder, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The header totals are only capacity hints; clamp them by what the
+	// blob could possibly inflate to (DEFLATE expands ≤ ~1032×, a vertex
+	// costs ≥ 3 raw bytes) so a corrupt header cannot force a huge
+	// allocation before the sections are even parsed.
+	vcap := clampCap(c.nVertsTotal, len(base.Vertices), len(c.blob))
+	fcap := clampCap(c.nFacesTotal, len(base.Faces), len(c.blob))
 	d := &Decoder{
 		c:       c,
-		verts:   append(make([]geom.Vec3, 0, c.nVertsTotal), base.Vertices...),
-		faces:   append(make([]mesh.Face, 0, c.nFacesTotal), base.Faces...),
-		faceIdx: make(map[faceKey]int32, c.nFacesTotal),
+		verts:   append(make([]geom.Vec3, 0, vcap), base.Vertices...),
+		faces:   append(make([]mesh.Face, 0, fcap), base.Faces...),
+		faceIdx: make(map[faceKey]int32, fcap),
 	}
 	for i, f := range d.faces {
 		d.faceIdx[keyOf(f)] = int32(i)
 	}
 	return d, nil
+}
+
+// clampCap bounds a header-claimed element count to what blobLen bytes of
+// DEFLATE input could actually encode, but never below the already-parsed
+// base count.
+func clampCap(claimed, have, blobLen int) int {
+	limit := blobLen * 344 // 1032× max expansion / 3 bytes per element
+	if limit < 0 {
+		limit = claimed // overflow: blob already huge, trust the header
+	}
+	if claimed > limit {
+		claimed = limit
+	}
+	if claimed < have {
+		claimed = have
+	}
+	return claimed
 }
 
 // CurrentLOD returns the LOD the decoder state currently represents.
@@ -45,6 +69,9 @@ func (d *Decoder) CurrentLOD() int {
 // DecodeTo advances the decoder to the given LOD (which must be ≥ the
 // current LOD) and returns an independent snapshot of the mesh at that LOD.
 func (d *Decoder) DecodeTo(lod int) (*mesh.Mesh, error) {
+	if err := faultinject.Fire(faultinject.PointPPVPDecode); err != nil {
+		return nil, err
+	}
 	if lod < 0 || lod > d.c.MaxLOD() {
 		return nil, fmt.Errorf("%w: lod %d of [0,%d]", ErrLODOutOfRange, lod, d.c.MaxLOD())
 	}

@@ -135,12 +135,19 @@ func deflate(raw []byte) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
+// maxSectionBytes caps the inflated size of one section; a blob claiming
+// more is corrupt (or hostile), not a real object.
+const maxSectionBytes = 1 << 30
+
 func inflate(comp []byte) ([]byte, error) {
 	fr := flate.NewReader(bytes.NewReader(comp))
 	defer fr.Close()
-	raw, err := io.ReadAll(fr)
+	raw, err := io.ReadAll(io.LimitReader(fr, maxSectionBytes+1))
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorruptBlob, err)
+	}
+	if len(raw) > maxSectionBytes {
+		return nil, fmt.Errorf("%w: section exceeds %d bytes", ErrCorruptBlob, maxSectionBytes)
 	}
 	return raw, nil
 }
@@ -287,10 +294,19 @@ func FromBytes(blob []byte) (*Compressed, error) {
 	if c.nRounds < 0 || c.nRounds > 1<<20 || c.roundsPerLOD <= 0 {
 		return nil, ErrCorruptBlob
 	}
+	if c.nVertsTotal < 0 || c.nVertsTotal > 1<<28 || c.nFacesTotal < 0 || c.nFacesTotal > 1<<28 {
+		return nil, fmt.Errorf("%w: implausible vertex/face totals", ErrCorruptBlob)
+	}
 	nSections := 1 + c.nRounds
 	lens := make([]int, nSections)
 	for i := range lens {
-		lens[i] = int(r.uvarint())
+		l := int(r.uvarint())
+		// A negative (overflowed) or oversized length would make the
+		// section offsets non-monotonic and slicing would panic.
+		if l < 0 || l > len(blob) {
+			return nil, fmt.Errorf("%w: bad section length", ErrCorruptBlob)
+		}
+		lens[i] = l
 	}
 	if r.err != nil {
 		return nil, r.err
@@ -379,7 +395,10 @@ func (c *Compressed) parseBase() (*mesh.Mesh, error) {
 	}
 	r := &rbuf{b: raw}
 	nv := int(r.uvarint())
-	if r.err != nil || nv < 0 || nv > 1<<28 {
+	// Each vertex takes at least three delta bytes, so a count beyond the
+	// raw section size is corrupt; checking before mesh.New bounds the
+	// allocation by data actually present.
+	if r.err != nil || nv < 0 || nv > 1<<28 || nv > len(raw) {
 		return nil, ErrCorruptBlob
 	}
 	m := mesh.New(nv, 0)
@@ -391,7 +410,7 @@ func (c *Compressed) parseBase() (*mesh.Mesh, error) {
 		m.Vertices = append(m.Vertices, c.quant.decode(uint32(px), uint32(py), uint32(pz)))
 	}
 	nf := int(r.uvarint())
-	if r.err != nil || nf < 0 || nf > 1<<28 {
+	if r.err != nil || nf < 0 || nf > 1<<28 || nf > len(raw) {
 		return nil, ErrCorruptBlob
 	}
 	var prev int64
@@ -426,7 +445,9 @@ func (c *Compressed) parseRound(i int) (*round, error) {
 	}
 	r := &rbuf{b: raw}
 	nOps := int(r.uvarint())
-	if r.err != nil || nOps < 0 || nOps > 1<<26 {
+	// Each op takes at least ~6 bytes, so bound the count (and thus the
+	// slice preallocation) by the section size.
+	if r.err != nil || nOps < 0 || nOps > 1<<26 || nOps > len(raw) {
 		return nil, ErrCorruptBlob
 	}
 	rd := &round{ops: make([]op, 0, nOps)}
@@ -441,7 +462,7 @@ func (c *Compressed) parseRound(i int) (*round, error) {
 			return nil, ErrCorruptBlob
 		}
 		ringLen := int(r.uvarint())
-		if r.err != nil || ringLen < 3 || ringLen > 1<<16 {
+		if r.err != nil || ringLen < 3 || ringLen > 1<<16 || ringLen > len(raw)-r.off {
 			return nil, ErrCorruptBlob
 		}
 		ring := make([]int32, ringLen)

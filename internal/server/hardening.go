@@ -1,0 +1,175 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// Config tunes the production-hardening layer of the server. The zero value
+// selects the documented defaults.
+type Config struct {
+	// QueryTimeout bounds each query request's context; a query that
+	// exceeds it returns 504. Zero means the 30s default, negative
+	// disables the deadline.
+	QueryTimeout time.Duration
+	// MaxInFlight caps concurrently admitted query requests; excess
+	// requests are shed with 503 + Retry-After. Default 2×GOMAXPROCS.
+	MaxInFlight int
+	// MaxBodyBytes caps request body sizes (default 1 MiB). Oversized
+	// bodies return 413.
+	MaxBodyBytes int64
+	// ShutdownGrace bounds connection draining during graceful shutdown
+	// (default 15s); connections still open after it are closed hard.
+	ShutdownGrace time.Duration
+	// Logger receives middleware and lifecycle logs (default log.Default()).
+	Logger *log.Logger
+}
+
+func (c *Config) setDefaults() {
+	if c.QueryTimeout == 0 {
+		c.QueryTimeout = 30 * time.Second
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.ShutdownGrace <= 0 {
+		c.ShutdownGrace = 15 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = log.Default()
+	}
+}
+
+// SetReady overrides the /readyz state; Serve flips it to false on its own
+// when shutdown begins.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz reports whether the server should receive traffic: it is not
+// shutting down and has at least one dataset loaded.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	loaded := len(s.datasets)
+	s.mu.RUnlock()
+	w.Header().Set("Content-Type", "text/plain")
+	switch {
+	case !s.ready.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+	case loaded == 0:
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "no datasets loaded")
+	default:
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ready")
+	}
+}
+
+// recoverPanics converts a handler panic into a 500 and a stack-trace log
+// entry, keeping the process alive. http.ErrAbortHandler (the sanctioned
+// way to abort a response) is re-raised for net/http to handle.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				if rec == http.ErrAbortHandler {
+					panic(rec)
+				}
+				s.log.Printf("server: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+				writeErrStatus(w, http.StatusInternalServerError, "internal server error")
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// limitBody caps every request body at cfg.MaxBodyBytes; reading past the
+// cap fails the read with *http.MaxBytesError, which decodeBody maps to 413.
+func (s *Server) limitBody(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// query wraps a query handler with admission control and the per-query
+// deadline. Admission never queues: when MaxInFlight requests are already
+// running, the request is shed immediately with 503 + Retry-After so the
+// client can back off or try a replica.
+func (s *Server) query(h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+		default:
+			w.Header().Set("Retry-After", "1")
+			writeErrStatus(w, http.StatusServiceUnavailable,
+				fmt.Sprintf("server at capacity (%d queries in flight)", s.cfg.MaxInFlight))
+			return
+		}
+		if s.cfg.QueryTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueryTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		h(w, r)
+	})
+}
+
+// Run listens on addr and serves until ctx is cancelled, then drains
+// gracefully. Wire ctx to SIGINT/SIGTERM (signal.NotifyContext) for clean
+// operational shutdown; a nil error means every in-flight request finished.
+func (s *Server) Run(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln)
+}
+
+// Serve serves the API on ln until ctx is cancelled. It then flips /readyz
+// to draining, stops accepting connections, and waits up to
+// cfg.ShutdownGrace for in-flight requests to finish before closing the
+// stragglers.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       60 * time.Second,
+		ErrorLog:          s.log,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	s.ready.Store(false)
+	s.log.Printf("server: shutdown requested, draining for up to %s", s.cfg.ShutdownGrace)
+	shCtx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		srv.Close()
+		return fmt.Errorf("server: drain incomplete: %w", err)
+	}
+	s.log.Printf("server: drained cleanly")
+	return nil
+}

@@ -14,12 +14,18 @@
 package server
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -29,14 +35,33 @@ import (
 // Server serves queries against a set of named datasets.
 type Server struct {
 	eng *core.Engine
+	cfg Config
+	log *log.Logger
+
+	// inflight is the admission-control semaphore for query endpoints.
+	inflight chan struct{}
+	// ready gates /readyz; it flips to false when shutdown begins.
+	ready atomic.Bool
 
 	mu       sync.RWMutex
 	datasets map[string]*core.Dataset
 }
 
-// New returns a server bound to the engine.
-func New(eng *core.Engine) *Server {
-	return &Server{eng: eng, datasets: make(map[string]*core.Dataset)}
+// New returns a server bound to the engine with the default Config.
+func New(eng *core.Engine) *Server { return NewWithConfig(eng, Config{}) }
+
+// NewWithConfig returns a server bound to the engine with explicit limits.
+func NewWithConfig(eng *core.Engine, cfg Config) *Server {
+	cfg.setDefaults()
+	s := &Server{
+		eng:      eng,
+		cfg:      cfg,
+		log:      cfg.Logger,
+		inflight: make(chan struct{}, cfg.MaxInFlight),
+		datasets: make(map[string]*core.Dataset),
+	}
+	s.ready.Store(true)
+	return s
 }
 
 // AddDataset registers a dataset under its name.
@@ -53,18 +78,22 @@ func (s *Server) dataset(name string) (*core.Dataset, bool) {
 	return d, ok
 }
 
-// Handler returns the HTTP handler.
+// Handler returns the HTTP handler: the API routes wrapped in the
+// panic-recovery and body-limit middleware, with the query endpoints
+// additionally behind admission control and per-query deadlines.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /datasets", s.handleListDatasets)
 	mux.HandleFunc("GET /datasets/{name}", s.handleDataset)
 	mux.HandleFunc("GET /datasets/{name}/objects/{id}", s.handleObject)
-	mux.HandleFunc("POST /query/intersect", s.handleIntersect)
-	mux.HandleFunc("POST /query/within", s.handleWithin)
-	mux.HandleFunc("POST /query/nn", s.handleNN)
-	mux.HandleFunc("POST /query/range", s.handleRange)
-	mux.HandleFunc("POST /query/point", s.handlePoint)
-	return mux
+	mux.Handle("POST /query/intersect", s.query(s.handleIntersect))
+	mux.Handle("POST /query/within", s.query(s.handleWithin))
+	mux.Handle("POST /query/nn", s.query(s.handleNN))
+	mux.Handle("POST /query/range", s.query(s.handleRange))
+	mux.Handle("POST /query/point", s.query(s.handlePoint))
+	return s.recoverPanics(s.limitBody(mux))
 }
 
 type httpError struct {
@@ -82,21 +111,72 @@ func notFound(format string, args ...any) *httpError {
 	return &httpError{code: http.StatusNotFound, msg: fmt.Sprintf(format, args...)}
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
+// writeJSON encodes v into a buffer first so an encoding failure can still
+// become a 500 instead of a silently truncated 200.
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
-}
-
-func writeErr(w http.ResponseWriter, err error) {
-	code := http.StatusInternalServerError
-	if he, ok := err.(*httpError); ok {
-		code = he.code
+	if err := enc.Encode(v); err != nil {
+		s.log.Printf("server: encoding response: %v", err)
+		s.writeErr(w, fmt.Errorf("encoding response: %v", err))
+		return
 	}
 	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		s.log.Printf("server: writing response: %v", err)
+	}
+}
+
+// statusClientClosedRequest is the nginx convention for "client went away
+// before the response was ready"; no standard code fits.
+const statusClientClosedRequest = 499
+
+// writeErr maps err onto an HTTP status. Internal errors (500) are logged
+// in full but only their first line is sent to the client, so a worker
+// panic's stack trace lands in the log rather than the response body.
+func (s *Server) writeErr(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	var he *httpError
+	var mbe *http.MaxBytesError
+	switch {
+	case errors.As(err, &he):
+		code = he.code
+	case errors.As(err, &mbe):
+		code = http.StatusRequestEntityTooLarge
+	case errors.Is(err, context.DeadlineExceeded):
+		code = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		code = statusClientClosedRequest
+	}
+	msg := err.Error()
+	if code == http.StatusInternalServerError {
+		s.log.Printf("server: internal error: %v", err)
+		if i := strings.IndexByte(msg, '\n'); i >= 0 {
+			msg = msg[:i]
+		}
+	}
+	writeErrStatus(w, code, msg)
+}
+
+func writeErrStatus(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// decodeBody decodes the JSON request body, mapping an exceeded body limit
+// to 413 and malformed JSON to 400.
+func decodeBody(r *http.Request, v any) error {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return &httpError{code: http.StatusRequestEntityTooLarge, msg: mbe.Error()}
+		}
+		return badRequest("invalid JSON body: %v", err)
+	}
+	return nil
 }
 
 // datasetInfo is the JSON shape of one dataset.
@@ -133,42 +213,47 @@ func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
 			out = append(out, info(d))
 		}
 	}
-	writeJSON(w, out)
+	s.writeJSON(w, out)
 }
 
 func (s *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
 	d, ok := s.dataset(r.PathValue("name"))
 	if !ok {
-		writeErr(w, notFound("dataset %q not loaded", r.PathValue("name")))
+		s.writeErr(w, notFound("dataset %q not loaded", r.PathValue("name")))
 		return
 	}
-	writeJSON(w, info(d))
+	s.writeJSON(w, info(d))
 }
 
 func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
 	d, ok := s.dataset(r.PathValue("name"))
 	if !ok {
-		writeErr(w, notFound("dataset %q not loaded", r.PathValue("name")))
+		s.writeErr(w, notFound("dataset %q not loaded", r.PathValue("name")))
 		return
 	}
 	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
-	if err != nil || d.Tileset.Object(id) == nil {
-		writeErr(w, notFound("object %q not in dataset", r.PathValue("id")))
+	if err != nil {
+		s.writeErr(w, notFound("object %q not in dataset", r.PathValue("id")))
 		return
 	}
-	comp := d.Tileset.Object(id).Comp
+	obj := d.Tileset.Object(id)
+	if obj == nil {
+		s.writeErr(w, notFound("object %q not in dataset", r.PathValue("id")))
+		return
+	}
+	comp := obj.Comp
 	lod := comp.MaxLOD()
 	if ls := r.URL.Query().Get("lod"); ls != "" {
 		l, err := strconv.Atoi(ls)
 		if err != nil || l < 0 || l > comp.MaxLOD() {
-			writeErr(w, badRequest("lod must be in [0,%d]", comp.MaxLOD()))
+			s.writeErr(w, badRequest("lod must be in [0,%d]", comp.MaxLOD()))
 			return
 		}
 		lod = l
 	}
 	m, err := comp.Decode(lod)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	switch format := r.URL.Query().Get("format"); format {
@@ -187,14 +272,14 @@ func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
 		for i, f := range m.Faces {
 			faces[i] = [3]int32(f)
 		}
-		writeJSON(w, map[string]any{
+		s.writeJSON(w, map[string]any{
 			"lod":      lod,
 			"vertices": verts,
 			"faces":    faces,
 			"volume":   m.Volume(),
 		})
 	default:
-		writeErr(w, badRequest("unknown format %q", format))
+		s.writeErr(w, badRequest("unknown format %q", format))
 	}
 }
 
@@ -216,8 +301,8 @@ type queryRequest struct {
 func (s *Server) parseJoin(r *http.Request) (*core.Dataset, *core.Dataset, core.QueryOptions, queryRequest, error) {
 	var req queryRequest
 	var q core.QueryOptions
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		return nil, nil, q, req, badRequest("invalid JSON body: %v", err)
+	if err := decodeBody(r, &req); err != nil {
+		return nil, nil, q, req, err
 	}
 	target, ok := s.dataset(req.Target)
 	if !ok {
@@ -289,63 +374,63 @@ func statsOut(st *core.Stats) statsJSON {
 func (s *Server) handleIntersect(w http.ResponseWriter, r *http.Request) {
 	target, source, q, _, err := s.parseJoin(r)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	pairs, stats, err := s.eng.IntersectJoin(r.Context(), target, source, q)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
-	writeJSON(w, map[string]any{"pairs": pairs, "stats": statsOut(stats)})
+	s.writeJSON(w, map[string]any{"pairs": pairs, "stats": statsOut(stats)})
 }
 
 func (s *Server) handleWithin(w http.ResponseWriter, r *http.Request) {
 	target, source, q, req, err := s.parseJoin(r)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	if req.Dist <= 0 {
-		writeErr(w, badRequest("dist must be positive"))
+		s.writeErr(w, badRequest("dist must be positive"))
 		return
 	}
 	pairs, stats, err := s.eng.WithinJoin(r.Context(), target, source, req.Dist, q)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
-	writeJSON(w, map[string]any{"pairs": pairs, "stats": statsOut(stats)})
+	s.writeJSON(w, map[string]any{"pairs": pairs, "stats": statsOut(stats)})
 }
 
 func (s *Server) handleNN(w http.ResponseWriter, r *http.Request) {
 	target, source, q, _, err := s.parseJoin(r)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	ns, stats, err := s.eng.KNNJoin(r.Context(), target, source, q)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
-	writeJSON(w, map[string]any{"neighbors": ns, "stats": statsOut(stats)})
+	s.writeJSON(w, map[string]any{"neighbors": ns, "stats": statsOut(stats)})
 }
 
 func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, badRequest("invalid JSON body: %v", err))
+	if err := decodeBody(r, &req); err != nil {
+		s.writeErr(w, err)
 		return
 	}
 	d, ok := s.dataset(req.Dataset)
 	if !ok {
-		writeErr(w, notFound("dataset %q not loaded", req.Dataset))
+		s.writeErr(w, notFound("dataset %q not loaded", req.Dataset))
 		return
 	}
 	q, err := options(req)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	box := geom.Box3{
@@ -353,38 +438,38 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		Max: geom.V(req.Max[0], req.Max[1], req.Max[2]),
 	}
 	if box.IsEmpty() {
-		writeErr(w, badRequest("empty query box"))
+		s.writeErr(w, badRequest("empty query box"))
 		return
 	}
 	ids, stats, err := s.eng.RangeQuery(r.Context(), d, box, q)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
-	writeJSON(w, map[string]any{"objects": ids, "stats": statsOut(stats)})
+	s.writeJSON(w, map[string]any{"objects": ids, "stats": statsOut(stats)})
 }
 
 func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, badRequest("invalid JSON body: %v", err))
+	if err := decodeBody(r, &req); err != nil {
+		s.writeErr(w, err)
 		return
 	}
 	d, ok := s.dataset(req.Dataset)
 	if !ok {
-		writeErr(w, notFound("dataset %q not loaded", req.Dataset))
+		s.writeErr(w, notFound("dataset %q not loaded", req.Dataset))
 		return
 	}
 	q, err := options(req)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	p := geom.V(req.Point[0], req.Point[1], req.Point[2])
 	ids, stats, err := s.eng.ContainingObjects(r.Context(), d, p, q)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
-	writeJSON(w, map[string]any{"objects": ids, "stats": statsOut(stats)})
+	s.writeJSON(w, map[string]any{"objects": ids, "stats": statsOut(stats)})
 }

@@ -1,0 +1,60 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/mesh"
+	"repro/internal/ppvp"
+)
+
+func tileSeed(t testing.TB, n int) []byte {
+	var objs []*Object
+	for i := 0; i < n; i++ {
+		c, _, err := ppvp.Compress(mesh.Icosphere(float64(i+1), 1), ppvp.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		objs = append(objs, &Object{ID: int64(i), Comp: c})
+	}
+	return encodeTile(objs)
+}
+
+// FuzzDecodeTile feeds arbitrary bytes through tile parsing and (for tiles
+// that parse) first-LOD decoding. Corrupt input must surface as an error —
+// never a panic or an allocation driven by a corrupt header count.
+func FuzzDecodeTile(f *testing.F) {
+	f.Add(tileSeed(f, 2))
+	f.Add(tileSeed(f, 0))
+	f.Add([]byte{})
+	f.Add([]byte("TILE"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		objs, err := parseTile(data)
+		if err != nil {
+			return
+		}
+		for _, o := range objs {
+			d, err := o.Comp.NewDecoder()
+			if err != nil {
+				continue
+			}
+			d.DecodeTo(0)
+		}
+	})
+}
+
+// TestCorruptTileFaultDetected arms the storage.tile corrupt fault and
+// checks the CRC catches the flipped bytes.
+func TestCorruptTileFaultDetected(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	data := tileSeed(t, 2)
+	if _, err := parseTile(data); err != nil {
+		t.Fatalf("clean tile failed to parse: %v", err)
+	}
+	faultinject.Arm(faultinject.PointStorageTile, faultinject.Fault{Corrupt: true})
+	if _, err := parseTile(data); !errors.Is(err, ErrBadTile) {
+		t.Fatalf("corrupted tile err = %v, want ErrBadTile", err)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/faultinject"
 	"repro/internal/geom"
 	"repro/internal/ppvp"
 )
@@ -176,6 +177,11 @@ func (ts *Tileset) SaveTiles(dir string) error {
 }
 
 func writeTile(path string, objs []*Object) error {
+	return os.WriteFile(path, encodeTile(objs), 0o644)
+}
+
+// encodeTile serializes one cuboid's objects in the tile file layout.
+func encodeTile(objs []*Object) []byte {
 	var buf []byte
 	buf = append(buf, tileMagic[:]...)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(objs)))
@@ -186,7 +192,7 @@ func writeTile(path string, objs []*Object) error {
 		buf = append(buf, blob...)
 	}
 	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
-	return os.WriteFile(path, buf, 0o644)
+	return buf
 }
 
 // LoadTiles reads every tile-*.bin under dir and rebuilds a Tileset using
@@ -214,6 +220,11 @@ func LoadTiles(dir string, grid Grid) (*Tileset, error) {
 			}
 		}
 	}
+	// IDs must be dense 0..n-1; checking before allocating keeps one tile
+	// claiming a huge ID from forcing a huge slice.
+	if int64(len(byID)) != maxID+1 {
+		return nil, fmt.Errorf("%w: object IDs not dense (%d objects, max ID %d)", ErrBadTile, len(byID), maxID)
+	}
 	ts := &Tileset{Grid: grid, Tiles: make(map[int][]*Object)}
 	ts.Objects = make([]*Object, maxID+1)
 	for id, o := range byID {
@@ -221,15 +232,11 @@ func LoadTiles(dir string, grid Grid) (*Tileset, error) {
 		ts.Objects[id] = o
 		ts.Tiles[o.Cuboid] = append(ts.Tiles[o.Cuboid], o)
 	}
-	for id, o := range ts.Objects {
-		if o == nil {
-			return nil, fmt.Errorf("%w: missing object %d", ErrBadTile, id)
-		}
-	}
 	return ts, nil
 }
 
 func parseTile(data []byte) ([]*Object, error) {
+	data = faultinject.Corrupt(faultinject.PointStorageTile, data)
 	if len(data) < 12 || [4]byte(data[:4]) != tileMagic {
 		return nil, ErrBadTile
 	}
@@ -240,6 +247,11 @@ func parseTile(data []byte) ([]*Object, error) {
 	}
 	data = payload
 	count := binary.LittleEndian.Uint32(data[4:8])
+	// Every object needs at least a 12-byte header, so a larger count is
+	// corrupt; checking first bounds the preallocation by the data present.
+	if int64(count) > int64(len(data)-8)/12 {
+		return nil, fmt.Errorf("%w: object count exceeds file size", ErrBadTile)
+	}
 	off := 8
 	objs := make([]*Object, 0, count)
 	for i := uint32(0); i < count; i++ {
