@@ -1,7 +1,14 @@
 GO ?= go
 FUZZTIME ?= 10s
+# Benchmark reproducibility knobs: the Table 1 suite seeds its datasets
+# (bench.QuickConfig, seed 42), and the counts are pinned so reruns are
+# comparable. BENCHOUT is the committed artifact.
+BENCHCOUNT ?= 3
+BENCHOUT ?= BENCH_2.json
+# Extra label=file pairs merged into BENCHOUT (e.g. a saved baseline run).
+BENCHMERGE ?=
 
-.PHONY: build test vet race fuzz-short fuzz ci
+.PHONY: build test vet race fuzz-short fuzz ci bench
 
 build:
 	$(GO) build ./...
@@ -25,3 +32,12 @@ fuzz:
 	$(GO) test -fuzz=FuzzDecodeTile -fuzztime=$(FUZZTIME) ./internal/storage
 
 ci: vet race fuzz-short
+
+# Run the FPR query benchmarks (Table 1 cells) and the decode/cache
+# micro-benchmarks, then fold the text output into $(BENCHOUT) as JSON.
+# Results land under the "table1" and "decode" labels; pass
+# BENCHMERGE="baseline=old.txt" to merge a saved run for comparison.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkTable1_Cell' -benchmem -count=$(BENCHCOUNT) -benchtime=2x . | tee /tmp/bench_table1.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkDecode|BenchmarkCacheHit' -benchmem -count=$(BENCHCOUNT) ./internal/cache | tee /tmp/bench_decode.txt
+	$(GO) run ./cmd/benchjson -o $(BENCHOUT) table1=/tmp/bench_table1.txt decode=/tmp/bench_decode.txt $(BENCHMERGE)

@@ -40,17 +40,29 @@ func BenchmarkTable1(b *testing.B) {
 }
 
 // BenchmarkTable1_Cell benchmarks single Table 1 cells, one sub-benchmark
-// per test × paradigm on the brute-force column.
+// per test × paradigm on the brute-force column. Each cell also reports the
+// decode cache's warm-start counters so runs prove (or disprove) that FPR's
+// LOD-ladder misses reuse retained decoder state: rounds_skipped/op > 0
+// means refinement decodes resumed instead of replaying from LOD 0.
 func BenchmarkTable1_Cell(b *testing.B) {
 	s := sharedSuite(b)
 	for _, test := range bench.AllTests {
 		for _, paradigm := range []core.Paradigm{core.FR, core.FPR} {
 			b.Run(test.String()+"/"+paradigm.String(), func(b *testing.B) {
+				var warm, applied, skipped int64
 				for i := 0; i < b.N; i++ {
-					if _, err := s.RunCell(test, paradigm, core.BruteForce); err != nil {
+					cell, err := s.RunCell(test, paradigm, core.BruteForce)
+					if err != nil {
 						b.Fatal(err)
 					}
+					warm += cell.Stats.WarmStarts
+					applied += cell.Stats.RoundsApplied
+					skipped += cell.Stats.RoundsSkipped
 				}
+				n := float64(b.N)
+				b.ReportMetric(float64(warm)/n, "warm_starts/op")
+				b.ReportMetric(float64(applied)/n, "rounds_applied/op")
+				b.ReportMetric(float64(skipped)/n, "rounds_skipped/op")
 			})
 		}
 	}

@@ -1,0 +1,215 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON document so benchmark runs can be committed and diffed.
+//
+// Usage:
+//
+//	benchjson -o BENCH.json label1=file1.txt label2=file2.txt ...
+//
+// Each labeled input file is parsed for benchmark result lines; repeated
+// lines for one benchmark (from -count=N) are aggregated into min/mean
+// statistics. The output maps label → benchmark name → summary.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchName matches the name field of a result line; the trailing -N
+// (GOMAXPROCS suffix) is stripped so names stay stable across machines.
+var benchName = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?$`)
+
+// Summary aggregates the -count repetitions of one benchmark.
+type Summary struct {
+	Samples     int     `json:"samples"`
+	Iterations  int64   `json:"iterations"` // total b.N across samples
+	NsPerOpMin  float64 `json:"ns_per_op_min"`
+	NsPerOpMean float64 `json:"ns_per_op_mean"`
+	// Allocation columns are present only when the run used -benchmem.
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds the mean of any additional b.ReportMetric columns
+	// (e.g. rounds_skipped/op), keyed by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+type sample struct {
+	iters   int64
+	metrics map[string]float64 // unit → value, including ns/op
+}
+
+// parseLine parses one `go test -bench` result line: name, iteration count,
+// then (value, unit) pairs. Returns ok=false for non-benchmark lines.
+func parseLine(line string) (name string, s sample, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", sample{}, false
+	}
+	m := benchName.FindStringSubmatch(fields[0])
+	if m == nil {
+		return "", sample{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", sample{}, false
+	}
+	s = sample{iters: iters, metrics: make(map[string]float64)}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", sample{}, false
+		}
+		s.metrics[fields[i+1]] = v
+	}
+	if _, hasNs := s.metrics["ns/op"]; !hasNs {
+		return "", sample{}, false
+	}
+	return m[1], s, true
+}
+
+func parseFile(path string) (map[string][]sample, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string][]sample)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		if name, s, ok := parseLine(sc.Text()); ok {
+			out[name] = append(out[name], s)
+		}
+	}
+	return out, sc.Err()
+}
+
+func summarize(samples []sample) Summary {
+	s := Summary{Samples: len(samples), NsPerOpMin: samples[0].metrics["ns/op"]}
+	sums := make(map[string]float64)
+	counts := make(map[string]int)
+	for _, sm := range samples {
+		s.Iterations += sm.iters
+		if ns := sm.metrics["ns/op"]; ns < s.NsPerOpMin {
+			s.NsPerOpMin = ns
+		}
+		for unit, v := range sm.metrics {
+			sums[unit] += v
+			counts[unit]++
+		}
+	}
+	n := len(samples)
+	s.NsPerOpMean = sums["ns/op"] / float64(n)
+	for unit, sum := range sums {
+		if counts[unit] != n {
+			continue // metric missing from some samples: not comparable
+		}
+		mean := sum / float64(n)
+		switch unit {
+		case "ns/op":
+		case "B/op":
+			s.BytesPerOp = &mean
+		case "allocs/op":
+			s.AllocsPerOp = &mean
+		default:
+			if s.Metrics == nil {
+				s.Metrics = make(map[string]float64)
+			}
+			s.Metrics[unit] = mean
+		}
+	}
+	return s
+}
+
+func main() {
+	out := flag.String("o", "", "output JSON path (default stdout)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson [-o out.json] label=benchoutput.txt ...")
+		os.Exit(2)
+	}
+
+	doc := make(map[string]map[string]Summary)
+	for _, arg := range flag.Args() {
+		label, path, ok := strings.Cut(arg, "=")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: argument %q is not label=file\n", arg)
+			os.Exit(2)
+		}
+		parsed, err := parseFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		if len(parsed) == 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %s contains no benchmark lines\n", path)
+			os.Exit(1)
+		}
+		if doc[label] == nil {
+			doc[label] = make(map[string]Summary)
+		}
+		for name, samples := range parsed {
+			doc[label][name] = summarize(samples)
+		}
+	}
+
+	// Deterministic output: sorted keys via an ordered re-marshal.
+	buf, err := marshalSorted(doc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// marshalSorted renders the document with sorted labels and benchmark names
+// (encoding/json already sorts map keys, but we indent for reviewability).
+func marshalSorted(doc map[string]map[string]Summary) ([]byte, error) {
+	var b strings.Builder
+	labels := make([]string, 0, len(doc))
+	for l := range doc {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	b.WriteString("{\n")
+	for i, l := range labels {
+		names := make([]string, 0, len(doc[l]))
+		for n := range doc[l] {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(&b, "  %q: {\n", l)
+		for j, n := range names {
+			enc, err := json.Marshal(doc[l][n])
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(&b, "    %q: %s", n, enc)
+			if j < len(names)-1 {
+				b.WriteString(",")
+			}
+			b.WriteString("\n")
+		}
+		b.WriteString("  }")
+		if i < len(labels)-1 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("}\n")
+	return []byte(b.String()), nil
+}

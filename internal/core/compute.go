@@ -23,15 +23,53 @@ type evalCtx struct {
 	opts QueryOptions
 	col  *collector
 
+	// mu guards only the slot maps below; tree and group construction runs
+	// outside it, single-flighted per key by the slot's sync.Once so two
+	// workers never duplicate a build.
 	mu     sync.Mutex
-	trees  map[ctxKey]*aabbtree.Tree
-	groups map[ctxKey][]triGroup
+	trees  map[ctxKey]*treeSlot
+	groups map[ctxKey]*groupSlot
+
+	// scratch holds per-worker filter buffers, indexed by the worker slot
+	// runPerTarget hands to each callback; no locking needed.
+	scratch []filterScratch
 }
 
 type ctxKey struct {
 	seq int64
 	id  int64
 	lod int
+}
+
+type treeSlot struct {
+	once sync.Once
+	t    *aabbtree.Tree
+}
+
+type groupSlot struct {
+	once sync.Once
+	g    []triGroup
+}
+
+// filterScratch is one worker's reusable filter-step state: the dedup set
+// and the candidate ID buffer that would otherwise be allocated per target
+// object.
+type filterScratch struct {
+	seen map[int64]struct{}
+	ids  []int64
+	def  []int64
+}
+
+// reset clears the scratch for the next target and returns it.
+func (f *filterScratch) reset() *filterScratch {
+	if f.seen == nil {
+		f.seen = make(map[int64]struct{}, 32)
+	} else {
+		clear(f.seen)
+	}
+	f.ids = f.ids[:0]
+	f.def = f.def[:0]
+	return f
 }
 
 // triGroup is one sub-object at one LOD: the decoded faces assigned to a
@@ -43,11 +81,12 @@ type triGroup struct {
 
 func newEvalCtx(e *Engine, opts QueryOptions, col *collector) *evalCtx {
 	return &evalCtx{
-		e:      e,
-		opts:   opts,
-		col:    col,
-		trees:  make(map[ctxKey]*aabbtree.Tree),
-		groups: make(map[ctxKey][]triGroup),
+		e:       e,
+		opts:    opts,
+		col:     col,
+		trees:   make(map[ctxKey]*treeSlot),
+		groups:  make(map[ctxKey]*groupSlot),
+		scratch: make([]filterScratch, opts.workers(e)),
 	}
 }
 
@@ -63,75 +102,76 @@ type obj struct {
 func (c *evalCtx) key(o obj) ctxKey { return ctxKey{seq: o.ds.seq, id: o.id, lod: o.lod} }
 
 // decode fetches the mesh of (ds, id) at lod through the engine cache,
-// accounting decode time and cache hits.
+// accounting decode time and cache hits. Misses resume the object's
+// retained progressive decoder when one sits at a lower LOD (the cache's
+// warm-start protocol), so an FPR candidate walking the LOD ladder replays
+// each decode round at most once.
 func (c *evalCtx) decode(ds *Dataset, id int64, lod int) (obj, error) {
 	key := cache.Key{Object: ds.seq<<40 | id, LOD: lod}
 	missed := false
-	m, err := c.e.cache.GetOrDecode(key, func() (*mesh.Mesh, error) {
+	t0 := time.Now()
+	m, err := c.e.cache.GetOrDecodeProgressive(key, ds.Tileset.Object(id).Comp, func() error {
 		missed = true
-		if err := faultinject.Fire(faultinject.PointCoreDecode); err != nil {
-			return nil, err
-		}
-		t0 := time.Now()
-		defer func() { c.col.decodeNs.Add(time.Since(t0).Nanoseconds()) }()
 		c.col.decodes.Add(1)
-		return ds.Tileset.Object(id).Comp.Decode(lod)
+		return faultinject.Fire(faultinject.PointCoreDecode)
 	})
 	if err != nil {
 		return obj{}, err
 	}
-	if !missed {
+	if missed {
+		c.col.decodeNs.Add(time.Since(t0).Nanoseconds())
+	} else {
 		c.col.cacheHits.Add(1)
 	}
 	return obj{ds: ds, id: id, lod: lod, mesh: m}, nil
 }
 
 // tree returns (building if needed) the AABB-tree of an object at a LOD.
+// Builds are single-flighted per key: concurrent requesters block on the
+// same sync.Once instead of racing to build duplicates.
 func (c *evalCtx) tree(o obj) *aabbtree.Tree {
 	k := c.key(o)
 	c.mu.Lock()
-	t, ok := c.trees[k]
-	c.mu.Unlock()
-	if ok {
-		return t
+	s, ok := c.trees[k]
+	if !ok {
+		s = &treeSlot{}
+		c.trees[k] = s
 	}
-	t = aabbtree.Build(o.mesh.Triangles())
-	c.mu.Lock()
-	c.trees[k] = t
 	c.mu.Unlock()
-	return t
+	s.once.Do(func() { s.t = aabbtree.Build(o.mesh.TrianglesCached()) })
+	return s.t
 }
 
 // groupsOf returns the partition groups of an object at a LOD: decoded
 // faces assigned to the object's ingest-time skeleton points. Objects
-// without a skeleton form a single group.
+// without a skeleton form a single group. Like tree, builds are
+// single-flighted per key.
 func (c *evalCtx) groupsOf(o obj) []triGroup {
 	k := c.key(o)
 	c.mu.Lock()
-	g, ok := c.groups[k]
-	c.mu.Unlock()
-	if ok {
-		return g
+	s, ok := c.groups[k]
+	if !ok {
+		s = &groupSlot{}
+		c.groups[k] = s
 	}
+	c.mu.Unlock()
+	s.once.Do(func() { s.g = c.buildGroups(o) })
+	return s.g
+}
 
+func (c *evalCtx) buildGroups(o obj) []triGroup {
 	var skel []geom.Vec3
 	if o.ds.skeletons != nil && o.id >= 0 && o.id < int64(len(o.ds.skeletons)) {
 		skel = o.ds.skeletons[o.id]
 	}
-	var out []triGroup
 	if len(skel) <= 1 {
-		tris := o.mesh.Triangles()
-		out = []triGroup{{tris: tris, box: o.mesh.Bounds()}}
-	} else {
-		pgs := partition.AssignFaces(o.mesh, skel)
-		out = make([]triGroup, 0, len(pgs))
-		for _, pg := range pgs {
-			out = append(out, triGroup{tris: partition.GroupTriangles(o.mesh, pg), box: pg.Box})
-		}
+		return []triGroup{{tris: o.mesh.TrianglesCached(), box: o.mesh.Bounds()}}
 	}
-	c.mu.Lock()
-	c.groups[k] = out
-	c.mu.Unlock()
+	pgs := partition.AssignFaces(o.mesh, skel)
+	out := make([]triGroup, 0, len(pgs))
+	for _, pg := range pgs {
+		out = append(out, triGroup{tris: partition.GroupTriangles(o.mesh, pg), box: pg.Box})
+	}
 	return out
 }
 
@@ -145,11 +185,11 @@ func (c *evalCtx) intersects(a, b obj) bool {
 	case AABB:
 		return c.tree(a).IntersectsTree(c.tree(b))
 	case GPU:
-		return c.e.dev.Intersects(a.mesh.Triangles(), b.mesh.Triangles())
+		return c.e.dev.Intersects(a.mesh.TrianglesCached(), b.mesh.TrianglesCached())
 	case Partition, PartitionGPU:
 		return c.intersectsPartitioned(a, b)
 	default:
-		return bruteIntersects(a.mesh.Triangles(), b.mesh.Triangles())
+		return bruteIntersects(a.mesh.TrianglesCached(), b.mesh.TrianglesCached())
 	}
 }
 
@@ -194,21 +234,20 @@ func (c *evalCtx) minDist(a, b obj, upper float64) float64 {
 
 	switch c.opts.Accel {
 	case AABB:
-		// Dual-tree descent, seeded with the upper bound.
-		d := c.tree(a).DistToTree(c.tree(b))
-		_ = upper
-		return d
+		// Dual-tree descent, seeded with the upper bound so subtree pairs
+		// provably out of range are pruned without touching triangles.
+		return c.tree(a).DistToTreeBounded(c.tree(b), upper*nextAfterFactor)
 	case GPU:
 		up2 := math.Inf(1)
 		if !math.IsInf(upper, 1) {
 			up2 = upper * upper * nextAfterFactor
 		}
-		d2 := c.e.dev.MinDist2Bounded(a.mesh.Triangles(), b.mesh.Triangles(), up2)
+		d2 := c.e.dev.MinDist2Bounded(a.mesh.TrianglesCached(), b.mesh.TrianglesCached(), up2)
 		return math.Sqrt(d2)
 	case Partition, PartitionGPU:
 		return c.minDistPartitioned(a, b, upper)
 	default:
-		return bruteMinDist(a.mesh.Triangles(), b.mesh.Triangles())
+		return bruteMinDist(a.mesh.TrianglesCached(), b.mesh.TrianglesCached())
 	}
 }
 
@@ -295,5 +334,5 @@ func (c *evalCtx) containsObject(outer, inner obj) bool {
 	if c.opts.Accel == AABB {
 		return c.tree(outer).ContainsPoint(p)
 	}
-	return geom.PointInTriangles(p, outer.mesh.Triangles())
+	return geom.PointInTriangles(p, outer.mesh.TrianglesCached())
 }

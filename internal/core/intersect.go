@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"slices"
 	"time"
 
 	"repro/internal/index/rtree"
@@ -20,28 +21,31 @@ import (
 // face intersection — is resolved at the highest LOD for the survivors.
 func (e *Engine) IntersectJoin(ctx context.Context, target, source *Dataset, q QueryOptions) ([]Pair, *Stats, error) {
 	start := time.Now()
+	cacheBefore := e.cache.Stats()
 	col := newCollector(source.maxLOD)
 	ec := newEvalCtx(e, q, col)
 	lods := q.lodSchedule(minInt(target.maxLOD, source.maxLOD), q.Paradigm)
 	tree := source.filterTree(q.Accel)
-	sink := &resultSink{}
+	sink := newResultSink(q.workers(e))
 
-	err := runPerTarget(ctx, target, q.workers(e), func(o *storage.Object) error {
-		// Filtering step: MBB intersection against the global index.
-		var candIDs []int64
+	err := runPerTarget(ctx, target, q.workers(e), func(w int, o *storage.Object) error {
+		// Filtering step: MBB intersection against the global index. The
+		// dedup set and candidate buffer are per-worker scratch, reused
+		// across targets instead of reallocated for each one.
+		sc := ec.scratch[w].reset()
 		timed(&col.filterNs, func() {
-			seen := map[int64]bool{}
 			tree.SearchIntersect(o.MBB(), func(ent rtree.Entry) bool {
 				if target.seq == source.seq && ent.ID == o.ID {
 					return true
 				}
-				if !seen[ent.ID] {
-					seen[ent.ID] = true
-					candIDs = append(candIDs, ent.ID)
+				if _, dup := sc.seen[ent.ID]; !dup {
+					sc.seen[ent.ID] = struct{}{}
+					sc.ids = append(sc.ids, ent.ID)
 				}
 				return true
 			})
 		})
+		candIDs := sc.ids
 		col.candidates.Add(int64(len(candIDs)))
 		if len(candIDs) == 0 {
 			return nil
@@ -83,7 +87,7 @@ func (e *Engine) IntersectJoin(ctx context.Context, target, source *Dataset, q Q
 				}
 				if hit {
 					col.pruned[lod].Add(1)
-					sink.add(Pair{Target: o.ID, Source: id})
+					sink.add(w, Pair{Target: o.ID, Source: id})
 					col.results.Add(1)
 					continue
 				}
@@ -105,7 +109,7 @@ func (e *Engine) IntersectJoin(ctx context.Context, target, source *Dataset, q Q
 					return err
 				}
 				if ec.containsObject(to, so) || ec.containsObject(so, to) {
-					sink.add(Pair{Target: o.ID, Source: id})
+					sink.add(w, Pair{Target: o.ID, Source: id})
 					col.results.Add(1)
 				}
 			}
@@ -115,16 +119,12 @@ func (e *Engine) IntersectJoin(ctx context.Context, target, source *Dataset, q Q
 	if err != nil {
 		return nil, nil, err
 	}
-	return sink.sorted(), col.snapshot(time.Since(start)), nil
+	st := col.snapshot(time.Since(start))
+	st.captureCache(cacheBefore, e.cache.Stats())
+	return sink.sorted(), st, nil
 }
 
-func sortIDs(ids []int64) {
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
-}
+func sortIDs(ids []int64) { slices.Sort(ids) }
 
 func minInt(a, b int) int {
 	if a < b {

@@ -38,21 +38,17 @@ func (e *Engine) KNNJoin(ctx context.Context, target, source *Dataset, q QueryOp
 		q.K = 1
 	}
 	start := time.Now()
+	cacheBefore := e.cache.Stats()
 	col := newCollector(source.maxLOD)
 	ec := newEvalCtx(e, q, col)
 	lods := q.lodSchedule(minInt(target.maxLOD, source.maxLOD), q.Paradigm)
 	tree := source.filterTree(q.Accel)
 
-	var (
-		sink []Neighbor
-	)
-	sinkAdd := func(ns []Neighbor) {
-		ec.mu.Lock()
-		sink = append(sink, ns...)
-		ec.mu.Unlock()
-	}
+	// Per-worker neighbor buffers, merged after the run (no lock on the
+	// hot path; runPerTarget guarantees slot exclusivity).
+	sinkBuf := make([][]Neighbor, maxInt(q.workers(e), 1))
 
-	err := runPerTarget(ctx, target, q.workers(e), func(o *storage.Object) error {
+	err := runPerTarget(ctx, target, q.workers(e), func(w int, o *storage.Object) error {
 		// Filtering step: R-tree NN candidate generation with
 		// MINMAXDIST-style pruning. With the sub-object tree one object can
 		// yield several entries; they merge by taking the minimum of both
@@ -198,18 +194,20 @@ func (e *Engine) KNNJoin(ctx context.Context, target, source *Dataset, q QueryOp
 		if k > len(cands) {
 			k = len(cands)
 		}
-		out := make([]Neighbor, 0, k)
 		for _, c := range cands[:k] {
-			out = append(out, Neighbor{Target: o.ID, Source: c.id, Dist: c.minDist})
+			sinkBuf[w] = append(sinkBuf[w], Neighbor{Target: o.ID, Source: c.id, Dist: c.minDist})
 			col.results.Add(1)
 		}
-		sinkAdd(out)
 		return nil
 	})
 	if err != nil {
 		return nil, nil, err
 	}
 
+	var sink []Neighbor
+	for _, b := range sinkBuf {
+		sink = append(sink, b...)
+	}
 	sort.Slice(sink, func(i, j int) bool {
 		if sink[i].Target != sink[j].Target {
 			return sink[i].Target < sink[j].Target
@@ -219,7 +217,9 @@ func (e *Engine) KNNJoin(ctx context.Context, target, source *Dataset, q QueryOp
 		}
 		return sink[i].Source < sink[j].Source
 	})
-	return sink, col.snapshot(time.Since(start)), nil
+	st := col.snapshot(time.Since(start))
+	st.captureCache(cacheBefore, e.cache.Stats())
+	return sink, st, nil
 }
 
 func allExact(cands []*nnCand) bool {

@@ -20,6 +20,7 @@ import (
 // checked at full resolution.
 func (e *Engine) ContainingObjects(ctx context.Context, d *Dataset, p geom.Vec3, q QueryOptions) ([]int64, *Stats, error) {
 	start := time.Now()
+	cacheBefore := e.cache.Stats()
 	col := newCollector(d.maxLOD)
 	ec := newEvalCtx(e, q, col)
 	lods := q.lodSchedule(d.maxLOD, q.Paradigm)
@@ -66,7 +67,9 @@ func (e *Engine) ContainingObjects(ctx context.Context, d *Dataset, p geom.Vec3,
 		remaining = next
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out, col.snapshot(time.Since(start)), nil
+	st := col.snapshot(time.Since(start))
+	st.captureCache(cacheBefore, e.cache.Stats())
+	return out, st, nil
 }
 
 // pointInside tests point containment against a decoded object, with the
@@ -80,7 +83,7 @@ func (c *evalCtx) pointInside(o obj, p geom.Vec3) bool {
 	if !o.mesh.Bounds().ContainsPoint(p) {
 		return false
 	}
-	return geom.PointInTriangles(p, o.mesh.Triangles())
+	return geom.PointInTriangles(p, o.mesh.TrianglesCached())
 }
 
 // RangeQuery returns the IDs of every object of d whose geometry intersects
@@ -94,6 +97,7 @@ func (c *evalCtx) pointInside(o obj, p geom.Vec3) bool {
 // inside the box — be wholly contained by it.
 func (e *Engine) RangeQuery(ctx context.Context, d *Dataset, box geom.Box3, q QueryOptions) ([]int64, *Stats, error) {
 	start := time.Now()
+	cacheBefore := e.cache.Stats()
 	col := newCollector(d.maxLOD)
 	ec := newEvalCtx(e, q, col)
 	lods := q.lodSchedule(d.maxLOD, q.Paradigm)
@@ -172,7 +176,9 @@ func (e *Engine) RangeQuery(ctx context.Context, d *Dataset, box geom.Box3, q Qu
 		remaining = next
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out, col.snapshot(time.Since(start)), nil
+	st := col.snapshot(time.Since(start))
+	st.captureCache(cacheBefore, e.cache.Stats())
+	return out, st, nil
 }
 
 // boxTriangles triangulates the six faces of a box (12 triangles).

@@ -16,14 +16,21 @@ import (
 // together — the batching of §5.3 that gives the decode cache its spatial
 // locality.
 //
+// fn receives the worker slot index w in [0, workers): at any instant at
+// most one goroutine runs with a given w, so callbacks may use w to index
+// per-worker scratch state (filter buffers, result shards) without locking.
+//
 // The first error (or a cancellation of ctx) cancels a derived context, so
 // the spawning loop and every worker abort promptly; already-running fn
 // calls finish. A panic inside fn — a bad geometry, a corrupt blob tripping
 // an unchecked path — is recovered per object and surfaces as an error for
 // this query instead of crashing the process.
-func runPerTarget(ctx context.Context, target *Dataset, workers int, fn func(o *storage.Object) error) error {
+func runPerTarget(ctx context.Context, target *Dataset, workers int, fn func(w int, o *storage.Object) error) error {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if workers < 1 {
+		workers = 1
 	}
 	ctx, cancel := context.WithCancelCause(ctx)
 	defer cancel(nil)
@@ -45,29 +52,35 @@ func runPerTarget(ctx context.Context, target *Dataset, workers int, fn func(o *
 			cancel(err)
 		})
 	}
-	sem := make(chan struct{}, workers)
+	// slots doubles as the concurrency semaphore and the worker-index pool:
+	// a goroutine owns index w for the duration of its cuboid batch.
+	slots := make(chan int, workers)
+	for i := 0; i < workers; i++ {
+		slots <- i
+	}
 spawn:
 	for _, c := range cuboids {
 		objs := target.Tileset.Tiles[c]
+		var w int
 		select {
-		case sem <- struct{}{}:
+		case w = <-slots:
 		case <-ctx.Done():
 			break spawn
 		}
 		wg.Add(1)
-		go func(objs []*storage.Object) {
+		go func(w int, objs []*storage.Object) {
 			defer wg.Done()
-			defer func() { <-sem }()
+			defer func() { slots <- w }()
 			for _, o := range objs {
 				if ctx.Err() != nil {
 					return
 				}
-				if err := callRecovered(fn, o); err != nil {
+				if err := callRecovered(fn, w, o); err != nil {
 					fail(err)
 					return
 				}
 			}
-		}(objs)
+		}(w, objs)
 	}
 	wg.Wait()
 	if firstErr != nil {
@@ -79,38 +92,52 @@ spawn:
 	return nil
 }
 
-// callRecovered runs fn(o), converting a panic into an error so one bad
+// callRecovered runs fn(w, o), converting a panic into an error so one bad
 // object fails the query, not the process.
-func callRecovered(fn func(o *storage.Object) error, o *storage.Object) (err error) {
+func callRecovered(fn func(w int, o *storage.Object) error, w int, o *storage.Object) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("core: worker panic on object %d: %v\n%s", o.ID, r, debug.Stack())
 		}
 	}()
-	return fn(o)
+	return fn(w, o)
 }
 
-// resultSink collects pairs from concurrent workers and returns them in a
-// deterministic order.
+// resultSink collects pairs from concurrent workers into per-worker buffers
+// (no locking on the hot path) and merges them in a deterministic order.
 type resultSink struct {
-	mu    sync.Mutex
-	pairs []Pair
+	buf [][]Pair
 }
 
-func (r *resultSink) add(p Pair) {
-	r.mu.Lock()
-	r.pairs = append(r.pairs, p)
-	r.mu.Unlock()
+func newResultSink(workers int) *resultSink {
+	if workers < 1 {
+		workers = 1
+	}
+	return &resultSink{buf: make([][]Pair, workers)}
+}
+
+// add appends a pair to worker w's buffer. Safe without locking because
+// runPerTarget guarantees slot exclusivity.
+func (r *resultSink) add(w int, p Pair) {
+	r.buf[w] = append(r.buf[w], p)
 }
 
 func (r *resultSink) sorted() []Pair {
-	sort.Slice(r.pairs, func(i, j int) bool {
-		if r.pairs[i].Target != r.pairs[j].Target {
-			return r.pairs[i].Target < r.pairs[j].Target
+	n := 0
+	for _, b := range r.buf {
+		n += len(b)
+	}
+	pairs := make([]Pair, 0, n)
+	for _, b := range r.buf {
+		pairs = append(pairs, b...)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].Target != pairs[j].Target {
+			return pairs[i].Target < pairs[j].Target
 		}
-		return r.pairs[i].Source < r.pairs[j].Source
+		return pairs[i].Source < pairs[j].Source
 	})
-	return r.pairs
+	return pairs
 }
 
 // timed wraps a phase measurement.

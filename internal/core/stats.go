@@ -5,6 +5,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/cache"
 )
 
 // Stats describes one join execution: the wall-clock time, the per-phase
@@ -28,6 +30,17 @@ type Stats struct {
 	Decodes   int64
 	CacheHits int64
 
+	// WarmStarts counts cache misses that resumed a retained progressive
+	// decoder instead of replaying from LOD 0; RoundsApplied counts decode
+	// rounds actually replayed during this query and RoundsSkipped the
+	// rounds warm starts reused. The cold-path cost would have been
+	// RoundsApplied + RoundsSkipped. Counters are deltas of the shared
+	// engine cache, so concurrent queries on one engine can bleed into each
+	// other's numbers.
+	WarmStarts    int64
+	RoundsApplied int64
+	RoundsSkipped int64
+
 	// PairsEvaluated[l] and PairsPruned[l] count the candidate pairs that
 	// were evaluated at LOD l and the ones settled (accepted or rejected
 	// for good) at LOD l. Index len-1 is the highest LOD.
@@ -44,13 +57,23 @@ func (s *Stats) PrunedFraction(lod int) float64 {
 	return float64(s.PairsPruned[lod]) / float64(s.PairsEvaluated[lod])
 }
 
+// captureCache folds the engine cache's counter movement between two
+// snapshots (taken at query start and end) into the query stats.
+func (s *Stats) captureCache(before, after cache.Stats) {
+	d := after.Sub(before)
+	s.WarmStarts = d.WarmStarts
+	s.RoundsApplied = d.RoundsApplied
+	s.RoundsSkipped = d.RoundsSkipped
+}
+
 // String formats the stats as a one-line summary plus the LOD table.
 func (s *Stats) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "elapsed=%v filter=%v decode=%v geom=%v candidates=%d results=%d decodes=%d cacheHits=%d",
+	fmt.Fprintf(&b, "elapsed=%v filter=%v decode=%v geom=%v candidates=%d results=%d decodes=%d cacheHits=%d warmStarts=%d roundsApplied=%d roundsSkipped=%d",
 		s.Elapsed.Round(time.Microsecond), s.FilterTime.Round(time.Microsecond),
 		s.DecodeTime.Round(time.Microsecond), s.GeomTime.Round(time.Microsecond),
-		s.Candidates, s.Results, s.Decodes, s.CacheHits)
+		s.Candidates, s.Results, s.Decodes, s.CacheHits,
+		s.WarmStarts, s.RoundsApplied, s.RoundsSkipped)
 	for l := range s.PairsEvaluated {
 		if s.PairsEvaluated[l] > 0 {
 			fmt.Fprintf(&b, " lod%d=%d/%d", l, s.PairsPruned[l], s.PairsEvaluated[l])

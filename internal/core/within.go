@@ -22,46 +22,50 @@ import (
 // highest LOD where the decision is exact.
 func (e *Engine) WithinJoin(ctx context.Context, target, source *Dataset, dist float64, q QueryOptions) ([]Pair, *Stats, error) {
 	start := time.Now()
+	cacheBefore := e.cache.Stats()
 	col := newCollector(source.maxLOD)
 	ec := newEvalCtx(e, q, col)
 	lods := q.lodSchedule(minInt(target.maxLOD, source.maxLOD), q.Paradigm)
 	tree := source.filterTree(q.Accel)
-	sink := &resultSink{}
+	sink := newResultSink(q.workers(e))
 
-	err := runPerTarget(ctx, target, q.workers(e), func(o *storage.Object) error {
-		var res struct {
-			definite   []int64
-			candidates []int64
-		}
+	err := runPerTarget(ctx, target, q.workers(e), func(w int, o *storage.Object) error {
+		// Per-worker scratch: sc.def collects whole-subtree acceptances,
+		// sc.ids the candidates needing refinement; sc.seen dedups both.
+		sc := ec.scratch[w].reset()
 		timed(&col.filterNs, func() {
 			r := tree.SearchWithin(o.MBB(), dist)
-			seenDef := map[int64]bool{}
 			for _, ent := range r.Definite {
-				if (target.seq == source.seq && ent.ID == o.ID) || seenDef[ent.ID] {
+				if target.seq == source.seq && ent.ID == o.ID {
 					continue
 				}
-				seenDef[ent.ID] = true
-				res.definite = append(res.definite, ent.ID)
+				if _, dup := sc.seen[ent.ID]; dup {
+					continue
+				}
+				sc.seen[ent.ID] = struct{}{}
+				sc.def = append(sc.def, ent.ID)
 			}
-			seen := map[int64]bool{}
 			for _, ent := range r.Candidates {
-				if (target.seq == source.seq && ent.ID == o.ID) || seen[ent.ID] || seenDef[ent.ID] {
+				if target.seq == source.seq && ent.ID == o.ID {
 					continue
 				}
-				seen[ent.ID] = true
-				res.candidates = append(res.candidates, ent.ID)
+				if _, dup := sc.seen[ent.ID]; dup {
+					continue
+				}
+				sc.seen[ent.ID] = struct{}{}
+				sc.ids = append(sc.ids, ent.ID)
 			}
 		})
-		col.candidates.Add(int64(len(res.definite) + len(res.candidates)))
+		col.candidates.Add(int64(len(sc.def) + len(sc.ids)))
 
 		// Whole-subtree acceptances need no geometry at all.
-		sortIDs(res.definite)
-		for _, id := range res.definite {
-			sink.add(Pair{Target: o.ID, Source: id})
+		sortIDs(sc.def)
+		for _, id := range sc.def {
+			sink.add(w, Pair{Target: o.ID, Source: id})
 			col.results.Add(1)
 		}
 
-		remaining := res.candidates
+		remaining := sc.ids
 		sortIDs(remaining)
 		for li, lod := range lods {
 			if len(remaining) == 0 {
@@ -82,7 +86,7 @@ func (e *Engine) WithinJoin(ctx context.Context, target, source *Dataset, dist f
 				d := ec.minDist(to, so, dist*(1+1e-12))
 				if d <= dist {
 					col.pruned[lod].Add(1)
-					sink.add(Pair{Target: o.ID, Source: id})
+					sink.add(w, Pair{Target: o.ID, Source: id})
 					col.results.Add(1)
 					continue
 				}
@@ -99,7 +103,9 @@ func (e *Engine) WithinJoin(ctx context.Context, target, source *Dataset, dist f
 	if err != nil {
 		return nil, nil, err
 	}
-	return sink.sorted(), col.snapshot(time.Since(start)), nil
+	st := col.snapshot(time.Since(start))
+	st.captureCache(cacheBefore, e.cache.Stats())
+	return sink.sorted(), st, nil
 }
 
 // Dist is a convenience exact distance between two stored objects at the

@@ -205,10 +205,23 @@ func (t *Tree) distTriRec(ni int32, q geom.Triangle, qb geom.Box3, best float64)
 // DistToTree returns the minimum distance between the two triangle sets via
 // branch-and-bound simultaneous descent. It is zero when they intersect.
 func (t *Tree) DistToTree(o *Tree) float64 {
+	return t.DistToTreeBounded(o, math.Inf(1))
+}
+
+// DistToTreeBounded is DistToTree with the descent seeded by an upper bound:
+// subtree pairs whose box distance is ≥ upper are pruned without ever
+// touching their triangles. When the true distance exceeds upper the
+// returned value is ≥ upper but otherwise meaningless — callers must treat
+// it as "greater than upper" only. Pass math.Inf(1) for an exact distance.
+func (t *Tree) DistToTreeBounded(o *Tree, upper float64) float64 {
 	if t.root < 0 || o.root < 0 {
 		return math.Inf(1)
 	}
-	best := distDual(t, t.root, o, o.root, math.Inf(1))
+	best := math.Inf(1)
+	if !math.IsInf(upper, 1) {
+		best = upper * upper
+	}
+	best = distDual(t, t.root, o, o.root, best)
 	return math.Sqrt(best)
 }
 

@@ -249,3 +249,42 @@ func TestContainsPointMultiComponent(t *testing.T) {
 		t.Fatalf("agreement %d/%d", agree, total)
 	}
 }
+
+// TestDistToTreeBounded: with an upper bound above the true distance the
+// result is exact; with a bound below it the result must exceed the bound
+// (the "greater than upper" contract that lets distance joins prune).
+func TestDistToTreeBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		a := randomTris(rng, 50, 10, 2)
+		b := randomTris(rng, 50, 10, 2)
+		shift := 5 + float64(trial)
+		for i := range b {
+			b[i].A.X += shift
+			b[i].B.X += shift
+			b[i].C.X += shift
+		}
+		ta, tb := Build(a), Build(b)
+		exact := ta.DistToTree(tb)
+
+		// Generous bound: exact answer.
+		if got := ta.DistToTreeBounded(tb, exact*2+1); math.Abs(got-exact) > 1e-9 {
+			t.Fatalf("trial %d: bounded(loose) = %v, want %v", trial, got, exact)
+		}
+		// Bound exactly at the distance (plus epsilon): still found.
+		if got := ta.DistToTreeBounded(tb, exact*(1+1e-9)); math.Abs(got-exact) > 1e-6 {
+			t.Fatalf("trial %d: bounded(tight) = %v, want %v", trial, got, exact)
+		}
+		// Bound below the distance: anything > bound is acceptable.
+		low := exact / 2
+		if low > 0 {
+			if got := ta.DistToTreeBounded(tb, low); got <= low*(1-1e-12) {
+				t.Fatalf("trial %d: bounded(low) = %v, want > %v", trial, got, low)
+			}
+		}
+		// Infinite bound degenerates to the exact descent.
+		if got := ta.DistToTreeBounded(tb, math.Inf(1)); math.Abs(got-exact) > 1e-9 {
+			t.Fatalf("trial %d: bounded(inf) = %v, want %v", trial, got, exact)
+		}
+	}
+}

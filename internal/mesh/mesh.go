@@ -9,6 +9,7 @@ package mesh
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/geom"
 )
@@ -18,9 +19,16 @@ import (
 type Face [3]int32
 
 // Mesh is an indexed triangle mesh.
+//
+// Mesh contains an internal cache and must not be copied by value after
+// first use; pass *Mesh around (as all the code in this module does).
 type Mesh struct {
 	Vertices []geom.Vec3
 	Faces    []Face
+
+	// tris lazily memoizes the materialized triangle slice for read-only
+	// meshes (decoded LODs queried many times). Mutating methods drop it.
+	tris atomic.Pointer[[]geom.Triangle]
 }
 
 // New returns an empty mesh with the given capacities pre-allocated.
@@ -66,6 +74,22 @@ func (m *Mesh) Triangles() []geom.Triangle {
 	}
 	return out
 }
+
+// TrianglesCached returns the materialized triangle slice, building it at
+// most once per mesh state and sharing the result across callers. The
+// returned slice is read-only. Concurrent first calls may race to build; the
+// duplicate work is benign and bounded to one extra materialization.
+func (m *Mesh) TrianglesCached() []geom.Triangle {
+	if p := m.tris.Load(); p != nil {
+		return *p
+	}
+	t := m.Triangles()
+	m.tris.Store(&t)
+	return t
+}
+
+// invalidateTriangles drops the memoized triangle slice after a mutation.
+func (m *Mesh) invalidateTriangles() { m.tris.Store(nil) }
 
 // Bounds returns the mesh's minimal bounding box (MBB).
 func (m *Mesh) Bounds() geom.Box3 {
@@ -129,7 +153,7 @@ func (m *Mesh) ContainsPoint(p geom.Vec3) bool {
 	if !m.Bounds().ContainsPoint(p) {
 		return false
 	}
-	return geom.PointInTriangles(p, m.Triangles())
+	return geom.PointInTriangles(p, m.TrianglesCached())
 }
 
 // Translate moves every vertex by d.
@@ -137,6 +161,7 @@ func (m *Mesh) Translate(d geom.Vec3) {
 	for i := range m.Vertices {
 		m.Vertices[i] = m.Vertices[i].Add(d)
 	}
+	m.invalidateTriangles()
 }
 
 // Scale scales every vertex about the origin by s.
@@ -144,6 +169,7 @@ func (m *Mesh) Scale(s float64) {
 	for i := range m.Vertices {
 		m.Vertices[i] = m.Vertices[i].Mul(s)
 	}
+	m.invalidateTriangles()
 }
 
 // String implements fmt.Stringer.

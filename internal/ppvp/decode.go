@@ -66,6 +66,18 @@ func (d *Decoder) CurrentLOD() int {
 	return (d.roundsApplied + d.c.roundsPerLOD - 1) / d.c.roundsPerLOD
 }
 
+// RoundsApplied returns how many decode rounds the decoder has replayed so
+// far. A warm-start consumer resuming this decoder skips exactly this many
+// rounds compared to a cold decode.
+func (d *Decoder) RoundsApplied() int { return d.roundsApplied }
+
+// CanAdvanceTo reports whether DecodeTo(lod) is legal for this decoder:
+// progressive decoding can only move forward, so the rounds required by lod
+// must be at or beyond the rounds already applied.
+func (d *Decoder) CanAdvanceTo(lod int) bool {
+	return lod >= 0 && lod <= d.c.MaxLOD() && d.c.roundsForLOD(lod) >= d.roundsApplied
+}
+
 // DecodeTo advances the decoder to the given LOD (which must be ≥ the
 // current LOD) and returns an independent snapshot of the mesh at that LOD.
 func (d *Decoder) DecodeTo(lod int) (*mesh.Mesh, error) {

@@ -343,6 +343,10 @@ func (c *Compressed) NumLODs() int { return c.MaxLOD() + 1 }
 // PolicyUsed returns the pruning policy the blob was encoded with.
 func (c *Compressed) PolicyUsed() Policy { return c.policy }
 
+// RoundsForLOD returns how many decode rounds reconstruct the given LOD —
+// the unit behind the engine's RoundsApplied/RoundsSkipped counters.
+func (c *Compressed) RoundsForLOD(lod int) int { return c.roundsForLOD(lod) }
+
 // roundsForLOD returns how many decode rounds reconstruct the given LOD.
 func (c *Compressed) roundsForLOD(lod int) int {
 	n := lod * c.roundsPerLOD

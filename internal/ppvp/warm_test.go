@@ -1,0 +1,120 @@
+package ppvp
+
+import (
+	"testing"
+
+	"repro/internal/mesh"
+)
+
+// meshesEqual compares two meshes exactly (same vertex order, same faces).
+func meshesEqual(a, b *mesh.Mesh) bool {
+	if len(a.Vertices) != len(b.Vertices) || len(a.Faces) != len(b.Faces) {
+		return false
+	}
+	for i := range a.Vertices {
+		if a.Vertices[i] != b.Vertices[i] {
+			return false
+		}
+	}
+	for i := range a.Faces {
+		if a.Faces[i] != b.Faces[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestWarmStartEquivalence is the warm-start soundness property: for every
+// pair j ≤ k, a decoder advanced to LOD j and later resumed to LOD k must
+// produce exactly the mesh a cold Decode(k) produces. The engine's decode
+// cache relies on this to resume retained decoders on misses.
+func TestWarmStartEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		m    *mesh.Mesh
+	}{
+		{"sphere", mesh.Icosphere(10, 3)},
+		{"small", mesh.Icosphere(3, 1)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c, _, err := Compress(tc.m, DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold := make([]*mesh.Mesh, c.NumLODs())
+			for k := 0; k <= c.MaxLOD(); k++ {
+				cold[k], err = c.Decode(k)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			for j := 0; j <= c.MaxLOD(); j++ {
+				for k := j; k <= c.MaxLOD(); k++ {
+					d, err := c.NewDecoder()
+					if err != nil {
+						t.Fatal(err)
+					}
+					mj, err := d.DecodeTo(j)
+					if err != nil {
+						t.Fatalf("DecodeTo(%d): %v", j, err)
+					}
+					if !meshesEqual(mj, cold[j]) {
+						t.Fatalf("warm intermediate at LOD %d differs from cold", j)
+					}
+					if !d.CanAdvanceTo(k) {
+						t.Fatalf("decoder at LOD %d cannot advance to %d", j, k)
+					}
+					mk, err := d.DecodeTo(k)
+					if err != nil {
+						t.Fatalf("resume DecodeTo(%d) from %d: %v", k, j, err)
+					}
+					if !meshesEqual(mk, cold[k]) {
+						t.Errorf("warm decode %d→%d differs from cold Decode(%d)", j, k, k)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRoundsAccounting pins the decoder's round bookkeeping: the rounds a
+// resumed decode applies plus the rounds it skipped must equal the cold
+// cost, which is what makes the cache's RoundsApplied/RoundsSkipped
+// counters sum to the cold-path total.
+func TestRoundsAccounting(t *testing.T) {
+	m := mesh.Icosphere(8, 3)
+	c, _, err := Compress(m, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := c.MaxLOD()
+	d, err := c.NewDecoder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.RoundsApplied() != 0 {
+		t.Fatalf("fresh decoder has %d rounds applied", d.RoundsApplied())
+	}
+	mid := top / 2
+	if _, err := d.DecodeTo(mid); err != nil {
+		t.Fatal(err)
+	}
+	skipped := d.RoundsApplied()
+	if skipped != c.RoundsForLOD(mid) {
+		t.Errorf("RoundsApplied = %d after LOD %d, want %d", skipped, mid, c.RoundsForLOD(mid))
+	}
+	if _, err := d.DecodeTo(top); err != nil {
+		t.Fatal(err)
+	}
+	applied := d.RoundsApplied() - skipped
+	if skipped+applied != c.RoundsForLOD(top) {
+		t.Errorf("skipped %d + applied %d != cold cost %d", skipped, applied, c.RoundsForLOD(top))
+	}
+	// Rewinding is refused, not silently wrong.
+	if d.CanAdvanceTo(0) {
+		t.Error("CanAdvanceTo(0) true on an advanced decoder")
+	}
+	if _, err := d.DecodeTo(0); err == nil {
+		t.Error("DecodeTo(0) on advanced decoder did not error")
+	}
+}

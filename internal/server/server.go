@@ -352,22 +352,31 @@ type statsJSON struct {
 	Results    int64   `json:"results"`
 	Decodes    int64   `json:"decodes"`
 	CacheHits  int64   `json:"cache_hits"`
-	Evaluated  []int64 `json:"pairs_evaluated_per_lod"`
-	Pruned     []int64 `json:"pairs_pruned_per_lod"`
+	// Warm-start counters: misses that resumed a retained progressive
+	// decoder, decode rounds replayed, and rounds the resumes skipped
+	// (cold cost = rounds_applied + rounds_skipped).
+	WarmStarts    int64   `json:"warm_starts"`
+	RoundsApplied int64   `json:"rounds_applied"`
+	RoundsSkipped int64   `json:"rounds_skipped"`
+	Evaluated     []int64 `json:"pairs_evaluated_per_lod"`
+	Pruned        []int64 `json:"pairs_pruned_per_lod"`
 }
 
 func statsOut(st *core.Stats) statsJSON {
 	return statsJSON{
-		ElapsedMS:  float64(st.Elapsed) / float64(time.Millisecond),
-		FilterMS:   float64(st.FilterTime) / float64(time.Millisecond),
-		DecodeMS:   float64(st.DecodeTime) / float64(time.Millisecond),
-		GeomMS:     float64(st.GeomTime) / float64(time.Millisecond),
-		Candidates: st.Candidates,
-		Results:    st.Results,
-		Decodes:    st.Decodes,
-		CacheHits:  st.CacheHits,
-		Evaluated:  st.PairsEvaluated,
-		Pruned:     st.PairsPruned,
+		ElapsedMS:     float64(st.Elapsed) / float64(time.Millisecond),
+		FilterMS:      float64(st.FilterTime) / float64(time.Millisecond),
+		DecodeMS:      float64(st.DecodeTime) / float64(time.Millisecond),
+		GeomMS:        float64(st.GeomTime) / float64(time.Millisecond),
+		Candidates:    st.Candidates,
+		Results:       st.Results,
+		Decodes:       st.Decodes,
+		CacheHits:     st.CacheHits,
+		WarmStarts:    st.WarmStarts,
+		RoundsApplied: st.RoundsApplied,
+		RoundsSkipped: st.RoundsSkipped,
+		Evaluated:     st.PairsEvaluated,
+		Pruned:        st.PairsPruned,
 	}
 }
 
