@@ -1,5 +1,12 @@
 GO ?= go
 FUZZTIME ?= 10s
+# External analyzers are pinned and run via `go run pkg@version` so no
+# binary needs to be installed or vendored. They require module downloads;
+# the targets below probe for availability and skip with a notice when the
+# module cache is cold and there is no network (the in-repo 3dpro-lint
+# suite always runs — it is stdlib-only).
+STATICCHECK_PKG ?= honnef.co/go/tools/cmd/staticcheck@2025.1.1
+GOVULNCHECK_PKG ?= golang.org/x/vuln/cmd/govulncheck@v1.1.4
 # Benchmark reproducibility knobs: the Table 1 suite seeds its datasets
 # (bench.QuickConfig, seed 42), and the counts are pinned so reruns are
 # comparable. BENCHOUT is the committed artifact.
@@ -8,7 +15,7 @@ BENCHOUT ?= BENCH_2.json
 # Extra label=file pairs merged into BENCHOUT (e.g. a saved baseline run).
 BENCHMERGE ?=
 
-.PHONY: build test vet race fuzz-short fuzz ci bench
+.PHONY: build test vet lint staticcheck govulncheck race fuzz-short fuzz ci bench
 
 build:
 	$(GO) build ./...
@@ -18,6 +25,29 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Project-specific analyzers (hotalloc, ctxflow, atomiccounter, floateq).
+# Fails on any unsuppressed finding; see README "Static analysis".
+lint:
+	$(GO) run ./cmd/3dpro-lint ./...
+
+# Pinned staticcheck; skips (with a visible notice) when the module is not
+# fetchable, e.g. offline with a cold module cache. CI has network and
+# therefore actually enforces it.
+staticcheck:
+	@if $(GO) run $(STATICCHECK_PKG) -version >/dev/null 2>&1; then \
+		$(GO) run $(STATICCHECK_PKG) ./...; \
+	else \
+		echo "staticcheck: $(STATICCHECK_PKG) unavailable (offline, cold module cache?); skipping"; \
+	fi
+
+# Pinned govulncheck, same availability gating as staticcheck.
+govulncheck:
+	@if $(GO) run $(GOVULNCHECK_PKG) -version >/dev/null 2>&1; then \
+		$(GO) run $(GOVULNCHECK_PKG) ./...; \
+	else \
+		echo "govulncheck: $(GOVULNCHECK_PKG) unavailable (offline, cold module cache?); skipping"; \
+	fi
 
 race:
 	$(GO) test -race ./...
@@ -31,7 +61,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/ppvp
 	$(GO) test -fuzz=FuzzDecodeTile -fuzztime=$(FUZZTIME) ./internal/storage
 
-ci: vet race fuzz-short
+ci: vet lint staticcheck govulncheck race fuzz-short
 
 # Run the FPR query benchmarks (Table 1 cells) and the decode/cache
 # micro-benchmarks, then fold the text output into $(BENCHOUT) as JSON.

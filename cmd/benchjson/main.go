@@ -13,8 +13,10 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"sort"
@@ -128,29 +130,47 @@ func summarize(samples []sample) Summary {
 	return s
 }
 
+// usageError marks command-line mistakes, which exit 2 instead of 1.
+type usageError struct{ msg string }
+
+func (e *usageError) Error() string { return e.msg }
+
 func main() {
 	out := flag.String("o", "", "output JSON path (default stdout)")
 	flag.Parse()
-	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: benchjson [-o out.json] label=benchoutput.txt ...")
-		os.Exit(2)
+	if err := run(flag.Args(), *out, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		var ue *usageError
+		if errors.As(err, &ue) {
+			fmt.Fprintln(os.Stderr, "usage: benchjson [-o out.json] label=benchoutput.txt ...")
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+// run converts the labeled bench-output files into one JSON document,
+// written to outPath (or stdout when empty). An input file with no
+// parsable benchmark result lines is an error: silently committing an
+// empty artifact would make the next perf comparison vacuously "no
+// regression".
+func run(args []string, outPath string, stdout io.Writer) error {
+	if len(args) == 0 {
+		return &usageError{"no inputs"}
 	}
 
 	doc := make(map[string]map[string]Summary)
-	for _, arg := range flag.Args() {
+	for _, arg := range args {
 		label, path, ok := strings.Cut(arg, "=")
-		if !ok {
-			fmt.Fprintf(os.Stderr, "benchjson: argument %q is not label=file\n", arg)
-			os.Exit(2)
+		if !ok || label == "" || path == "" {
+			return &usageError{fmt.Sprintf("argument %q is not label=file", arg)}
 		}
 		parsed, err := parseFile(path)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		if len(parsed) == 0 {
-			fmt.Fprintf(os.Stderr, "benchjson: %s contains no benchmark lines\n", path)
-			os.Exit(1)
+			return fmt.Errorf("%s contains no benchmark result lines (empty or unparsable bench output); refusing to write an empty artifact", path)
 		}
 		if doc[label] == nil {
 			doc[label] = make(map[string]Summary)
@@ -163,17 +183,13 @@ func main() {
 	// Deterministic output: sorted keys via an ordered re-marshal.
 	buf, err := marshalSorted(doc)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+		return err
 	}
-	if *out == "" {
-		os.Stdout.Write(buf)
-		return
+	if outPath == "" {
+		_, err := stdout.Write(buf)
+		return err
 	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
-	}
+	return os.WriteFile(outPath, buf, 0o644)
 }
 
 // marshalSorted renders the document with sorted labels and benchmark names

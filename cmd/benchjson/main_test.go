@@ -1,0 +1,118 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const goodBench = `goos: linux
+goarch: amd64
+pkg: repro/internal/core
+BenchmarkIntersectJoin-8   	     100	  10000000 ns/op	  2048 B/op	      12 allocs/op
+BenchmarkIntersectJoin-8   	     120	   8000000 ns/op	  2048 B/op	      12 allocs/op
+BenchmarkKNN/k=4-8         	      50	  20000000 ns/op	     3.5 rounds/op
+PASS
+ok  	repro/internal/core	12.3s
+`
+
+func TestRunEmptyFile(t *testing.T) {
+	p := writeTemp(t, "empty.txt", "")
+	err := run([]string{"base=" + p}, "", &strings.Builder{})
+	if err == nil {
+		t.Fatal("empty input must be an error")
+	}
+	if !strings.Contains(err.Error(), "no benchmark result lines") {
+		t.Errorf("error %q should explain that no result lines were found", err)
+	}
+	var ue *usageError
+	if errors.As(err, &ue) {
+		t.Error("empty input is a data error, not a usage error")
+	}
+}
+
+func TestRunUnparsableFile(t *testing.T) {
+	p := writeTemp(t, "garbage.txt", "this is not bench output\nneither is this\n")
+	err := run([]string{"base=" + p}, "", &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "no benchmark result lines") {
+		t.Fatalf("unparsable input must error about missing result lines, got %v", err)
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	if err := run([]string{"base=/nonexistent/bench.txt"}, "", &strings.Builder{}); err == nil {
+		t.Fatal("missing input file must be an error")
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		nil,                // no inputs at all
+		{"notlabeled.txt"}, // missing label=
+		{"=file.txt"},      // empty label
+		{"label="},         // empty path
+	} {
+		err := run(args, "", &strings.Builder{})
+		var ue *usageError
+		if !errors.As(err, &ue) {
+			t.Errorf("run(%q) = %v, want usage error", args, err)
+		}
+	}
+}
+
+func TestRunGoodOutput(t *testing.T) {
+	p := writeTemp(t, "good.txt", goodBench)
+	var sb strings.Builder
+	if err := run([]string{"base=" + p}, "", &sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]map[string]Summary
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, sb.String())
+	}
+	base := doc["base"]
+	if base == nil {
+		t.Fatal("missing label \"base\"")
+	}
+	ij := base["BenchmarkIntersectJoin"]
+	if ij.Samples != 2 || ij.Iterations != 220 {
+		t.Errorf("IntersectJoin samples/iters = %d/%d, want 2/220", ij.Samples, ij.Iterations)
+	}
+	if ij.NsPerOpMin != 8000000 || ij.NsPerOpMean != 9000000 {
+		t.Errorf("IntersectJoin min/mean = %v/%v, want 8e6/9e6", ij.NsPerOpMin, ij.NsPerOpMean)
+	}
+	if ij.BytesPerOp == nil || *ij.BytesPerOp != 2048 || ij.AllocsPerOp == nil || *ij.AllocsPerOp != 12 {
+		t.Errorf("IntersectJoin benchmem columns wrong: %+v", ij)
+	}
+	knn := base["BenchmarkKNN/k=4"]
+	if knn.Samples != 1 || knn.Metrics["rounds/op"] != 3.5 {
+		t.Errorf("KNN custom metric wrong: %+v", knn)
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	p := writeTemp(t, "good.txt", goodBench)
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"base=" + p}, out, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf) {
+		t.Fatalf("written file is not valid JSON:\n%s", buf)
+	}
+}

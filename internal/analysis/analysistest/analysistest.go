@@ -1,0 +1,277 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against `// want "regex"` comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on top of this repo's
+// dependency-free framework.
+//
+// Fixtures live under <testdata>/src/<import/path>/*.go. A line expecting a
+// finding carries a trailing comment of the form
+//
+//	x := a == b // want "float equality"
+//
+// with one double-quoted regexp per expected diagnostic on that line.
+// Diagnostics without a matching want, and wants without a matching
+// diagnostic, fail the test. //lint:ignore directives in fixtures are
+// honored, so suppression behavior is testable too.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run analyzes the given fixture packages (import paths relative to
+// testdata/src) with a and reports mismatches against want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	srcRoot := filepath.Join(testdata, "src")
+	ld, err := newFixtureLoader(srcRoot)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	for _, path := range pkgPaths {
+		pkg, err := ld.load(path)
+		if err != nil {
+			t.Fatalf("analysistest: load %s: %v", path, err)
+		}
+		pass := &analysis.Pass{
+			Analyzer: a,
+			PkgPath:  pkg.Path,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Pkg,
+			Info:     pkg.Info,
+		}
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("analysistest: %s on %s: %v", a.Name, path, err)
+		}
+		sup := analysis.CollectSuppressions(pkg.Fset, pkg.Files, nil)
+		for _, d := range sup.Malformed {
+			t.Errorf("%s: %s", d.Pos, d.Message)
+		}
+		kept, _ := sup.Apply(pass.Diagnostics())
+		checkWants(t, pkg, kept)
+	}
+}
+
+// want is one expected-diagnostic regexp.
+type want struct {
+	pos     token.Position
+	re      *regexp.Regexp
+	matched bool
+}
+
+func checkWants(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants, err := collectWants(pkg)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	for _, d := range diags {
+		if !matchWant(wants, d) {
+			t.Errorf("%s: unexpected diagnostic: [%s] %s", d.Pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: no diagnostic matching %q", w.pos, w.re)
+		}
+	}
+}
+
+func matchWant(wants []*want, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.pos.Filename != d.Pos.Filename || w.pos.Line != d.Pos.Line {
+			continue
+		}
+		if w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var quotedRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// collectWants extracts want expectations from the fixture comments.
+func collectWants(pkg *analysis.Package) ([]*want, error) {
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				quoted := quotedRe.FindAllString(m[1], -1)
+				if len(quoted) == 0 {
+					return nil, fmt.Errorf("%s: want comment with no quoted regexp", pos)
+				}
+				for _, q := range quoted {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want string %s: %v", pos, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &want{pos: pos, re: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// fixtureLoader type-checks fixture packages, resolving fixture-to-fixture
+// imports from source and everything else through stdlib export data.
+type fixtureLoader struct {
+	srcRoot string
+	fset    *token.FileSet
+	// dirs maps fixture import path → directory.
+	dirs map[string]string
+	// loaded memoizes type-checked fixture packages.
+	loaded map[string]*analysis.Package
+	std    types.Importer
+}
+
+func newFixtureLoader(srcRoot string) (*fixtureLoader, error) {
+	ld := &fixtureLoader{
+		srcRoot: srcRoot,
+		fset:    token.NewFileSet(),
+		dirs:    make(map[string]string),
+		loaded:  make(map[string]*analysis.Package),
+	}
+	stdImports := make(map[string]bool)
+	err := filepath.WalkDir(srcRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		dir := filepath.Dir(path)
+		rel, err := filepath.Rel(srcRoot, dir)
+		if err != nil {
+			return err
+		}
+		ld.dirs[filepath.ToSlash(rel)] = dir
+		// Pre-scan imports so one `go list` call can fetch all stdlib
+		// export data the fixtures need.
+		f, err := parser.ParseFile(ld.fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			return fmt.Errorf("parse %s: %v", path, err)
+		}
+		for _, imp := range f.Imports {
+			p, _ := strconv.Unquote(imp.Path.Value)
+			stdImports[p] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var std []string
+	for p := range stdImports {
+		if _, isFixture := ld.dirs[p]; !isFixture {
+			std = append(std, p)
+		}
+	}
+	exports, err := stdExports(std)
+	if err != nil {
+		return nil, err
+	}
+	ld.std = analysis.ExportImporter(ld.fset, exports)
+	return ld, nil
+}
+
+// Import implements types.Importer over fixtures + stdlib.
+func (ld *fixtureLoader) Import(path string) (*types.Package, error) {
+	if _, ok := ld.dirs[path]; ok {
+		p, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Pkg, nil
+	}
+	return ld.std.Import(path)
+}
+
+func (ld *fixtureLoader) load(path string) (*analysis.Package, error) {
+	if p, ok := ld.loaded[path]; ok {
+		return p, nil
+	}
+	dir, ok := ld.dirs[path]
+	if !ok {
+		return nil, fmt.Errorf("no fixture package %q under %s", path, ld.srcRoot)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: ld}
+	tpkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck fixture %s: %v", path, err)
+	}
+	p := &analysis.Package{Path: path, Dir: dir, Fset: ld.fset, Files: files, Pkg: tpkg, Info: info}
+	ld.loaded[path] = p
+	return p, nil
+}
+
+// stdExports runs `go list -export` for the stdlib packages fixtures import
+// (plus their dependency closure) and returns importPath → export file.
+func stdExports(pkgs []string) (map[string]string, error) {
+	exports := make(map[string]string)
+	if len(pkgs) == 0 {
+		return exports, nil
+	}
+	args := append([]string{"list", "-e", "-export", "-json=ImportPath,Export", "-deps", "--"}, pkgs...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", pkgs, err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e struct{ ImportPath, Export string }
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+	}
+	return exports, nil
+}

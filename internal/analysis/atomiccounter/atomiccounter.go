@@ -1,0 +1,195 @@
+// Package atomiccounter flags mixed atomic / non-atomic access to struct
+// fields.
+//
+// The engine's stats counters (core.Stats deltas, cache.Stats aggregation,
+// the per-query collector) are touched from concurrent workers. A field
+// that is updated through sync/atomic anywhere must be read and written
+// through sync/atomic everywhere: one plain `s.Hits++` next to an
+// `atomic.AddInt64(&s.Hits, 1)` is a data race that -race only catches when
+// the schedule cooperates, and a torn read silently corrupts the Fig. 10/12
+// accounting the paper's evaluation rests on.
+//
+// The analyzer works per package: it first collects every field that
+// appears as `&x.Field` in a sync/atomic call, then flags any other plain
+// read or write of those fields. Composite-literal initialization
+// (`Stats{Hits: 3}`) is exempt — construction happens before the value is
+// shared.
+package atomiccounter
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "atomiccounter",
+	Doc: "flag non-atomic access to struct fields that are elsewhere accessed via sync/atomic\n\n" +
+		"A counter field updated with atomic.AddInt64/LoadInt64/... in one place must be\n" +
+		"accessed atomically everywhere in the package; plain reads/writes race.",
+	Run: run,
+}
+
+// fieldKey identifies a struct field across files of one package.
+type fieldKey struct {
+	pkg, typ, field string
+}
+
+func run(pass *analysis.Pass) error {
+	atomicFields := collectAtomicFields(pass)
+	if len(atomicFields) == 0 {
+		return nil
+	}
+	// parent tracking: walk with an explicit stack so a selector can see
+	// whether it sits inside an atomic call argument or a composite literal
+	// key position.
+	for _, f := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			key, ok := fieldOf(pass, sel)
+			if !ok {
+				return true
+			}
+			if _, tracked := atomicFields[key]; !tracked {
+				return true
+			}
+			if inAtomicCallArg(pass, stack) || inCompositeLitKey(stack, sel) {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"field %s is accessed with sync/atomic elsewhere in this package; this plain access races — use sync/atomic here too", keyString(key))
+			return true
+		})
+	}
+	return nil
+}
+
+func keyString(k fieldKey) string { return fmt.Sprintf("%s.%s", k.typ, k.field) }
+
+// collectAtomicFields finds fields whose address is passed to a sync/atomic
+// function anywhere in the package.
+func collectAtomicFields(pass *analysis.Pass) map[fieldKey]token.Pos {
+	out := make(map[fieldKey]token.Pos)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if key, ok := fieldOf(pass, sel); ok {
+					out[key] = sel.Pos()
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	callee := analysis.CalleeFunc(pass.Info, call)
+	return callee != nil && callee.Pkg() != nil && callee.Pkg().Path() == "sync/atomic"
+}
+
+// fieldOf resolves a selector to (package, struct type, field) when it
+// denotes a struct field access.
+func fieldOf(pass *analysis.Pass, sel *ast.SelectorExpr) (fieldKey, bool) {
+	s, ok := pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return fieldKey{}, false
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok || !v.IsField() {
+		return fieldKey{}, false
+	}
+	t := s.Recv()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := derefNamed(t)
+	if !ok {
+		return fieldKey{}, false
+	}
+	pkgPath := ""
+	if named.Obj().Pkg() != nil {
+		pkgPath = named.Obj().Pkg().Path()
+	}
+	return fieldKey{pkg: pkgPath, typ: named.Obj().Name(), field: v.Name()}, true
+}
+
+func derefNamed(t types.Type) (*types.Named, bool) {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return tt, true
+		default:
+			return nil, false
+		}
+	}
+}
+
+// inAtomicCallArg reports whether the innermost enclosing call around the
+// top of the stack is a sync/atomic call (the selector is the `x.F` of an
+// `&x.F` argument).
+func inAtomicCallArg(pass *analysis.Pass, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if call, ok := stack[i].(*ast.CallExpr); ok {
+			return isAtomicCall(pass, call)
+		}
+	}
+	return false
+}
+
+// inCompositeLitKey reports whether sel is the key of a KeyValueExpr — that
+// cannot happen for a field selector, but sel may be the *value* inside a
+// composite literal that initializes the tracked field by copy; only the
+// exact `Type{Field: v}` key form is exempt, which appears as an *ast.Ident
+// key, so this guards the case where the selector itself IS the
+// initialization target via &struct{...} patterns.
+func inCompositeLitKey(stack []ast.Node, sel *ast.SelectorExpr) bool {
+	for i := len(stack) - 1; i >= 1; i-- {
+		if kv, ok := stack[i].(*ast.KeyValueExpr); ok {
+			if kv.Key == sel || containsNode(kv.Key, sel) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func containsNode(root ast.Node, target ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,47 @@
+// Package stats is the atomiccounter fixture: Counters.Hits is accessed
+// through sync/atomic, so every other access to it must be atomic too.
+// Misses is never touched atomically, so plain access is fine.
+package stats
+
+import "sync/atomic"
+
+type Counters struct {
+	Hits   int64
+	Misses int64
+}
+
+// Inc is the atomic access that marks Hits as an atomic field.
+func Inc(c *Counters) {
+	atomic.AddInt64(&c.Hits, 1)
+}
+
+// Snapshot reads atomically: no finding.
+func Snapshot(c *Counters) int64 {
+	return atomic.LoadInt64(&c.Hits)
+}
+
+// Race mixes in a plain write and a plain read.
+func Race(c *Counters) int64 {
+	c.Hits++    // want "accessed with sync/atomic elsewhere"
+	h := c.Hits // want "accessed with sync/atomic elsewhere"
+	return h
+}
+
+// PlainField only ever uses plain access: no finding.
+func PlainField(c *Counters) int64 {
+	c.Misses++
+	return c.Misses
+}
+
+// Fresh constructs a value before sharing it: composite-literal keys are
+// exempt.
+func Fresh() *Counters {
+	return &Counters{Hits: 0, Misses: 0}
+}
+
+// Vetted reads under an external lock the analyzer can't see; the
+// suppression carries the justification.
+func Vetted(c *Counters) int64 {
+	//lint:ignore atomiccounter fixture: caller holds the registry lock, snapshot is quiescent
+	return c.Hits
+}

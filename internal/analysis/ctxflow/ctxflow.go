@@ -1,0 +1,233 @@
+// Package ctxflow enforces context.Context propagation through the query
+// path.
+//
+// The deadline/cancellation machinery from PR 1 (per-query timeouts,
+// admission control, graceful drain) only works if every layer hands the
+// incoming context down. Three regressions are flagged in internal/core and
+// internal/server:
+//
+//   - a function takes a context.Context but never uses it (dropped);
+//   - a function with a context parameter calls context.Background() or
+//     context.TODO(), detaching the work from its caller's deadline — the
+//     one sanctioned shape is the nil-guard `if ctx == nil { ctx =
+//     context.Background() }`;
+//   - an http.Handler-shaped function (has an *http.Request parameter)
+//     calls context.Background()/TODO() instead of r.Context().
+package ctxflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "forbid dropping or replacing an incoming context.Context on the query path\n\n" +
+		"In internal/core and internal/server, functions that receive a context must\n" +
+		"use it, must not rebase work onto context.Background()/context.TODO() (except\n" +
+		"the nil-guard idiom), and request handlers must derive from r.Context().",
+	Run: run,
+}
+
+var scopePackages = []string{"internal/core", "internal/server"}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PathHasAnySuffix(pass.PkgPath, scopePackages...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ctxParams := paramsOfType(pass, fd, isContextType)
+	reqParams := paramsOfType(pass, fd, isRequestPtrType)
+
+	for _, p := range ctxParams {
+		if p.name == nil {
+			pass.Reportf(p.pos, "%s drops its incoming context.Context (unnamed parameter)", fd.Name.Name)
+			continue
+		}
+		if !identUsed(pass, fd.Body, p.obj) {
+			pass.Reportf(p.pos, "%s never uses its incoming context.Context; pass it down or remove the parameter", fd.Name.Name)
+		}
+	}
+
+	// A function already holding a context (or a request) must not rebase
+	// onto a fresh root context.
+	if len(ctxParams) == 0 && len(reqParams) == 0 {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := analysis.CalleeFunc(pass.Info, call)
+		if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "context" {
+			return true
+		}
+		name := callee.Name()
+		if name != "Background" && name != "TODO" {
+			return true
+		}
+		if len(ctxParams) > 0 && isNilGuardAssignment(pass, fd.Body, call, ctxParams) {
+			return true
+		}
+		if len(ctxParams) > 0 {
+			pass.Reportf(call.Pos(),
+				"%s replaces its incoming context with context.%s(); derive from the parameter instead", fd.Name.Name, name)
+		} else {
+			pass.Reportf(call.Pos(),
+				"%s has an *http.Request; use r.Context() instead of context.%s()", fd.Name.Name, name)
+		}
+		return true
+	})
+}
+
+type param struct {
+	name *ast.Ident
+	obj  types.Object
+	pos  token.Pos
+}
+
+// paramsOfType collects the function's parameters whose type satisfies pred.
+func paramsOfType(pass *analysis.Pass, fd *ast.FuncDecl, pred func(types.Type) bool) []param {
+	var out []param
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		t := pass.Info.Types[field.Type].Type
+		if t == nil || !pred(t) {
+			continue
+		}
+		if len(field.Names) == 0 {
+			out = append(out, param{name: nil, pos: field.Type.Pos()})
+			continue
+		}
+		for _, n := range field.Names {
+			if n.Name == "_" {
+				out = append(out, param{name: nil, pos: n.Pos()})
+				continue
+			}
+			out = append(out, param{name: n, obj: pass.Info.Defs[n], pos: n.Pos()})
+		}
+	}
+	return out
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+func isRequestPtrType(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Request" && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
+}
+
+// identUsed reports whether obj is referenced anywhere in body.
+func identUsed(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+			used = true
+		}
+		return true
+	})
+	return used
+}
+
+// isNilGuardAssignment reports whether call appears as the right-hand side
+// of `ctx = context.Background()` directly inside `if ctx == nil { ... }`
+// for one of the context parameters — the sanctioned defaulting idiom.
+func isNilGuardAssignment(pass *analysis.Pass, body *ast.BlockStmt, call *ast.CallExpr, ctxParams []param) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifStmt, ok := n.(*ast.IfStmt)
+		if !ok || found {
+			return !found
+		}
+		bin, ok := ifStmt.Cond.(*ast.BinaryExpr)
+		if !ok || bin.Op != token.EQL {
+			return true
+		}
+		guarded := guardedParam(pass, bin, ctxParams)
+		if guarded == nil {
+			return true
+		}
+		for _, stmt := range ifStmt.Body.List {
+			assign, ok := stmt.(*ast.AssignStmt)
+			if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+				continue
+			}
+			lhs, ok := assign.Lhs[0].(*ast.Ident)
+			if !ok || pass.Info.Uses[lhs] != guarded {
+				continue
+			}
+			if ast.Unparen(assign.Rhs[0]) == call {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// guardedParam returns the context parameter compared against nil in bin.
+func guardedParam(pass *analysis.Pass, bin *ast.BinaryExpr, ctxParams []param) types.Object {
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	var target ast.Expr
+	switch {
+	case isNil(bin.X):
+		target = bin.Y
+	case isNil(bin.Y):
+		target = bin.X
+	default:
+		return nil
+	}
+	id, ok := ast.Unparen(target).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := pass.Info.Uses[id]
+	for _, p := range ctxParams {
+		if p.obj != nil && p.obj == obj {
+			return obj
+		}
+	}
+	return nil
+}

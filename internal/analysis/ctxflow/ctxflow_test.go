@@ -1,0 +1,15 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/ctxflow"
+)
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxflow.Analyzer,
+		"b/internal/core",
+		"b/internal/server",
+	)
+}

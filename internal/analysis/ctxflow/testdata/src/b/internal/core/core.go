@@ -1,0 +1,63 @@
+// Package core is the ctxflow fixture for engine-side entry points.
+package core
+
+import "context"
+
+type Engine struct{}
+
+// Query propagates its context correctly: no finding.
+func (e *Engine) Query(ctx context.Context, n int) error {
+	return e.step(ctx, n)
+}
+
+func (e *Engine) step(ctx context.Context, n int) error {
+	return ctx.Err()
+}
+
+// Detached replaces the caller's context with a fresh root.
+func (e *Engine) Detached(ctx context.Context, n int) error {
+	_ = ctx.Err()
+	return e.step(context.Background(), n) // want "replaces its incoming context with context.Background"
+}
+
+// Todo is the same regression spelled with TODO.
+func (e *Engine) Todo(ctx context.Context, n int) error {
+	_ = ctx.Err()
+	return e.step(context.TODO(), n) // want "replaces its incoming context with context.TODO"
+}
+
+// Dropped never touches its context at all.
+func (e *Engine) Dropped(ctx context.Context, n int) error { // want "never uses its incoming context.Context"
+	return nil
+}
+
+// Blank discards the context in the signature.
+func (e *Engine) Blank(_ context.Context, n int) error { // want "drops its incoming context.Context"
+	return nil
+}
+
+// NilGuarded uses the sanctioned defaulting idiom: no finding.
+func NilGuarded(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return ctx.Err()
+}
+
+// Derived builds child contexts from the parameter: no finding.
+func Derived(ctx context.Context) error {
+	child, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return child.Err()
+}
+
+// Vetted shows a justified suppression.
+func Vetted(ctx context.Context, n int) error {
+	_ = ctx.Err()
+	//lint:ignore ctxflow fixture: detaching is the documented contract of this API
+	bg := context.Background()
+	return bg.Err()
+}
+
+// NoContext has nothing to check.
+func NoContext(n int) int { return n + 1 }

@@ -1,0 +1,22 @@
+// Package server is the ctxflow fixture for HTTP handlers.
+package server
+
+import (
+	"context"
+	"net/http"
+)
+
+// handleGood derives the query context from the request: no finding.
+func handleGood(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	_ = ctx
+}
+
+// handleDetached rebases the query onto a root context, escaping the
+// per-request deadline middleware.
+func handleDetached(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background() // want "use r.Context"
+	_ = ctx
+	_ = r
+}

@@ -1,0 +1,143 @@
+// Package floateq flags float equality comparisons in the geometry code.
+//
+// The paper's LOD-monotonicity guarantees (§4: lower-LOD intersection
+// implies higher-LOD intersection; lower-LOD distance lower-bounds
+// higher-LOD distance) are proved over exact predicates. In floating point,
+// `a == b` between two *computed* values is almost always a latent bug: the
+// two sides travel different rounding paths and the predicate silently
+// flips near the boundary, which breaks the refinement ladder's
+// "settle-at-lower-LOD" pruning in exactly the near-miss cases FPR exists
+// for.
+//
+// Flagged in internal/geom, internal/mesh, and internal/core: `==` / `!=`
+// where both operands are floating point (directly, or structs/arrays that
+// contain floats — Vec3, Triangle, Box3) and neither side is an
+// exactly-representable constant. Comparisons against exact constants
+// (`den == 0`, `t == 1`) are the sanctioned degenerate-case tests and are
+// not flagged; a comparison against an inexact constant like `x == 0.1` is.
+package floateq
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "floateq",
+	Doc: "flag ==/!= on floating-point values outside exact-representable constant comparisons\n\n" +
+		"In internal/geom, internal/mesh and internal/core, comparing two computed\n" +
+		"floats (or Vec3/Triangle/Box3 values) for equality breaks LOD monotonicity\n" +
+		"near predicate boundaries; compare against an epsilon, use math.Nextafter\n" +
+		"bounds, or suppress with a justification.",
+	Run: run,
+}
+
+var scopePackages = []string{"internal/geom", "internal/mesh", "internal/core"}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PathHasAnySuffix(pass.PkgPath, scopePackages...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			xt := pass.Info.Types[bin.X]
+			yt := pass.Info.Types[bin.Y]
+			if xt.Type == nil || yt.Type == nil {
+				return true
+			}
+			if !containsFloat(xt.Type) && !containsFloat(yt.Type) {
+				return true
+			}
+			// Both sides constant folds at compile time; one exact constant
+			// side is the sanctioned degenerate test.
+			if isExactConst(pass, bin.X) || isExactConst(pass, bin.Y) {
+				return true
+			}
+			pass.Reportf(bin.Pos(),
+				"float equality (%s) between computed values; compare with a tolerance or justify via //lint:ignore floateq", bin.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+// isExactConst reports whether expr is a constant whose value is exactly
+// representable in float64 (0, 1, 0.5, ... but not 0.1).
+//
+// The type-checker records constants *after* conversion to the comparison
+// type, which rounds away the evidence (`0.1` becomes the nearest float64,
+// which is trivially "exact"). So exactness is judged on the pre-conversion
+// value: the source literal where there is one, the declared constant value
+// for untyped named constants, and the recorded value otherwise.
+func isExactConst(pass *analysis.Pass, expr ast.Expr) bool {
+	tv := pass.Info.Types[expr]
+	if tv.Value == nil {
+		return false
+	}
+	v := tv.Value
+	switch e := ast.Unparen(unwrapSign(expr)).(type) {
+	case *ast.BasicLit:
+		if e.Kind == token.FLOAT || e.Kind == token.INT {
+			v = constant.MakeFromLiteral(e.Value, e.Kind, 0)
+		}
+	case *ast.Ident:
+		if c, ok := pass.Info.Uses[e].(*types.Const); ok {
+			v = c.Val()
+		}
+	case *ast.SelectorExpr:
+		if c, ok := pass.Info.Uses[e.Sel].(*types.Const); ok {
+			v = c.Val()
+		}
+	}
+	f := constant.ToFloat(v)
+	if f.Kind() != constant.Float {
+		return false
+	}
+	_, exact := constant.Float64Val(f)
+	return exact
+}
+
+// unwrapSign strips leading unary +/- so `x == -1.5` sees the literal.
+func unwrapSign(expr ast.Expr) ast.Expr {
+	for {
+		u, ok := ast.Unparen(expr).(*ast.UnaryExpr)
+		if !ok || (u.Op != token.SUB && u.Op != token.ADD) {
+			return ast.Unparen(expr)
+		}
+		expr = u.X
+	}
+}
+
+// containsFloat reports whether a value of type t transitively contains a
+// floating-point or complex component that participates in ==.
+func containsFloat(t types.Type) bool {
+	return containsFloatVisited(t, make(map[types.Type]bool))
+}
+
+func containsFloatVisited(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&(types.IsFloat|types.IsComplex) != 0
+	case *types.Array:
+		return containsFloatVisited(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsFloatVisited(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}

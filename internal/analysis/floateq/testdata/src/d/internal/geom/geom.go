@@ -1,0 +1,54 @@
+// Package geom is the floateq fixture: float equality between computed
+// values is flagged; exact-representable constant comparisons are allowed.
+package geom
+
+type Vec3 struct{ X, Y, Z float64 }
+
+type Triangle struct{ A, B, C Vec3 }
+
+// Degenerate checks against exact constants: sanctioned, no findings.
+func Degenerate(den, t float64) bool {
+	return den == 0 || t == 1 || t == 0.5
+}
+
+// Computed compares two rounded values.
+func Computed(a, b float64) bool {
+	return a == b // want "float equality"
+}
+
+// NotEqual is the same bug with !=.
+func NotEqual(a, b float64) bool {
+	return a != b // want "float equality"
+}
+
+// InexactConst compares against a constant that float64 cannot represent.
+func InexactConst(x float64) bool {
+	return x == 0.1 // want "float equality"
+}
+
+// StructEq compares whole float-bearing structs.
+func StructEq(u, v Vec3) bool {
+	return u == v // want "float equality"
+}
+
+// TriEq recurses through nested structs.
+func TriEq(s, t Triangle) bool {
+	return s != t // want "float equality"
+}
+
+// Ints are not floats: no finding.
+func Ints(i, j int) bool { return i == j }
+
+// Strings are not floats either.
+func Strings(a, b string) bool { return a == b }
+
+// Float32 is covered like float64.
+func Float32(a, b float32) bool {
+	return a == b // want "float equality"
+}
+
+// Vetted carries a justified suppression.
+func Vetted(prev, cur float64) bool {
+	//lint:ignore floateq fixture: change detection on a value copied verbatim, not recomputed
+	return prev != cur
+}

@@ -1,0 +1,177 @@
+// Package hotalloc enforces the refine hot path's allocation discipline.
+//
+// Two invariants from the PR-2 hot-path overhaul:
+//
+//  1. Code in internal/core and internal/index/aabbtree must call
+//     mesh.TrianglesCached(), never mesh.Triangles(): Triangles() builds a
+//     fresh []geom.Triangle on every call, and the candidate loop evaluates
+//     thousands of pairs per query.
+//
+//  2. Functions reachable from the per-object callbacks handed to
+//     runPerTarget must not allocate slices per pair — per-worker scratch
+//     (slot-indexed, see evalCtx.scratch) or a sync.Pool is required.
+//     Allocations inside sync.Once.Do closures are exempt: those are
+//     single-flighted builds, not per-pair work.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "forbid mesh.Triangles() and per-pair slice allocation on the refine hot path\n\n" +
+		"In internal/core and internal/index/aabbtree, (*mesh.Mesh).Triangles() must be\n" +
+		"(*mesh.Mesh).TrianglesCached(), and functions reachable from runPerTarget\n" +
+		"callbacks must not allocate slices (use per-worker scratch or a pool).",
+	Run: run,
+}
+
+// hotPackages are the path-segment suffixes of packages on the refine hot
+// path. Fixture packages match by the same suffixes.
+var hotPackages = []string{"internal/core", "internal/index/aabbtree"}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PathHasAnySuffix(pass.PkgPath, hotPackages...) {
+		return nil
+	}
+	checkTrianglesCalls(pass)
+	checkHotPathAllocs(pass)
+	return nil
+}
+
+// checkTrianglesCalls flags every call of (*mesh.Mesh).Triangles().
+func checkTrianglesCalls(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := analysis.CalleeFunc(pass.Info, call); callee != nil &&
+				analysis.IsMethodOn(callee, "internal/mesh", "Mesh", "Triangles") {
+				pass.Reportf(call.Pos(),
+					"(*mesh.Mesh).Triangles() allocates per call; hot-path package must use TrianglesCached()")
+			}
+			return true
+		})
+	}
+}
+
+// checkHotPathAllocs builds the package-local static call graph, marks
+// everything reachable from function literals passed to runPerTarget, and
+// flags slice allocations (make of a slice type, slice composite literals)
+// inside the reachable region.
+func checkHotPathAllocs(pass *analysis.Pass) {
+	// Map every function declaration's object to its body node, so static
+	// calls can be followed.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[obj] = fd
+			}
+		}
+	}
+
+	// Roots: function literals appearing as arguments to a runPerTarget
+	// call. The callback runs once per target object, so everything it
+	// reaches is per-pair-or-worse.
+	var worklist []ast.Node
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := analysis.CalleeFunc(pass.Info, call)
+			if callee == nil || callee.Name() != "runPerTarget" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+					worklist = append(worklist, lit.Body)
+				}
+			}
+			return true
+		})
+	}
+
+	// Reachability over package-local static calls. Edges into sync.Once.Do
+	// closures are not followed: a Do body runs once per (object, LOD) key,
+	// not once per pair.
+	visited := make(map[ast.Node]bool)
+	reachedFns := make(map[*types.Func]bool)
+	for len(worklist) > 0 {
+		body := worklist[len(worklist)-1]
+		worklist = worklist[:len(worklist)-1]
+		if visited[body] {
+			continue
+		}
+		visited[body] = true
+		flagSliceAllocs(pass, body)
+		ast.Inspect(body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := analysis.CalleeFunc(pass.Info, call)
+			if callee == nil {
+				return true
+			}
+			if analysis.IsMethodOn(callee, "sync", "Once", "Do") {
+				return false // the Do closure is single-flighted, not per-pair
+			}
+			if fd, ok := decls[callee]; ok && !reachedFns[callee] {
+				reachedFns[callee] = true
+				worklist = append(worklist, fd.Body)
+			}
+			return true
+		})
+	}
+}
+
+// flagSliceAllocs reports make([]T, ...) and []T{...} inside body, skipping
+// nested function literals that are sync.Once.Do arguments.
+func flagSliceAllocs(pass *analysis.Pass, body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if callee := analysis.CalleeFunc(pass.Info, n); callee != nil &&
+				analysis.IsMethodOn(callee, "sync", "Once", "Do") {
+				// The Do closure is single-flighted; skip its subtree.
+				return false
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "make" {
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin && len(n.Args) > 0 {
+					if isSliceType(pass.Info.Types[n.Args[0]].Type) {
+						pass.Reportf(n.Pos(),
+							"slice allocation reachable from a runPerTarget callback (per-pair hot path); use per-worker scratch or a sync.Pool")
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			if isSliceType(pass.Info.Types[n].Type) {
+				pass.Reportf(n.Pos(),
+					"slice literal reachable from a runPerTarget callback (per-pair hot path); use per-worker scratch or a sync.Pool")
+				return false // don't double-report nested element literals
+			}
+		}
+		return true
+	})
+}
+
+func isSliceType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}

@@ -1,0 +1,15 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/hotalloc"
+)
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata", hotalloc.Analyzer,
+		"a/internal/core", // flagging fixtures
+		"a/other",         // out-of-scope package: no findings expected
+	)
+}

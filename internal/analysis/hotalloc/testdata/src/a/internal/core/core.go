@@ -1,0 +1,77 @@
+// Package core is the hot-path fixture: its package path ends in
+// internal/core, so hotalloc applies both rules here.
+package core
+
+import (
+	"sync"
+
+	"a/internal/mesh"
+)
+
+// runPerTarget mimics the engine's per-object dispatcher; hotalloc treats
+// function literals passed to any callee named runPerTarget as hot roots.
+func runPerTarget(workers int, fn func(w int, o int) error) error {
+	for o := 0; o < 4; o++ {
+		if err := fn(o%workers, o); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Evaluate is the positive fixture: allocations inside (or reachable from)
+// the callback are flagged; single-flighted and pre-loop allocations are
+// not.
+func Evaluate(m *mesh.Mesh, workers int) error {
+	scratch := make([][]int, workers) // pre-loop per-worker scratch: not reachable, OK
+	var once sync.Once
+	var cached []mesh.Triangle
+	return runPerTarget(workers, func(w int, o int) error {
+		tris := m.Triangles() // want "TrianglesCached"
+		_ = tris
+		buf := make([]float64, o) // want "slice allocation reachable from a runPerTarget callback"
+		_ = buf
+		ids := []int{o} // want "slice literal reachable from a runPerTarget callback"
+		_ = ids
+		seen := make(map[int]bool) // map allocation: not a slice, OK
+		_ = seen
+		scratch[w] = scratch[w][:0] // reuse: OK
+		once.Do(func() {
+			cached = make([]mesh.Triangle, 8) // single-flighted build: OK
+		})
+		_ = cached
+		helper(o)
+		return nil
+	})
+}
+
+// helper is reachable from the callback, so its allocation is hot too.
+func helper(n int) []int {
+	return make([]int, n) // want "slice allocation reachable from a runPerTarget callback"
+}
+
+// coldPath is never called from a runPerTarget callback; its allocations
+// are fine.
+func coldPath(m *mesh.Mesh) []mesh.Triangle {
+	out := make([]mesh.Triangle, 0, 8)
+	out = append(out, m.TrianglesCached()...) // cached accessor: OK
+	return out
+}
+
+// Cached uses the sanctioned accessor inside the callback.
+func Cached(m *mesh.Mesh, workers int) error {
+	return runPerTarget(workers, func(w int, o int) error {
+		_ = m.TrianglesCached()
+		return nil
+	})
+}
+
+// Suppressed shows a vetted false positive being silenced.
+func Suppressed(workers int) error {
+	return runPerTarget(workers, func(w int, o int) error {
+		//lint:ignore hotalloc fixture: bounded one-element slice, measured irrelevant
+		tiny := make([]int, 1)
+		_ = tiny
+		return nil
+	})
+}

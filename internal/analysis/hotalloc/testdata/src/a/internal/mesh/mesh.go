@@ -1,0 +1,16 @@
+// Package mesh is a fixture stub of repro/internal/mesh: hotalloc matches
+// the Mesh type and its Triangles methods by package-path suffix, so this
+// stand-in exercises the analyzer without importing the real engine.
+package mesh
+
+type Triangle struct{ A, B, C [3]float64 }
+
+type Mesh struct{ faces []Triangle }
+
+func (m *Mesh) Triangles() []Triangle {
+	out := make([]Triangle, len(m.faces))
+	copy(out, m.faces)
+	return out
+}
+
+func (m *Mesh) TrianglesCached() []Triangle { return m.faces }

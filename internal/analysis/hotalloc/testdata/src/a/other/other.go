@@ -1,0 +1,11 @@
+// Package other is outside the hot-path scope: Triangles() and per-pair
+// allocations are allowed here, so hotalloc must stay silent.
+package other
+
+import "a/internal/mesh"
+
+func Render(m *mesh.Mesh) int {
+	tris := m.Triangles() // out of scope: OK
+	buf := make([]int, len(tris))
+	return len(buf)
+}

@@ -1,0 +1,92 @@
+// Package suite registers the project's analyzers and runs them over
+// loaded packages with //lint:ignore suppression applied — the shared
+// engine behind cmd/3dpro-lint and the CI smoke test.
+package suite
+
+import (
+	"fmt"
+	"regexp"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/atomiccounter"
+	"repro/internal/analysis/ctxflow"
+	"repro/internal/analysis/floateq"
+	"repro/internal/analysis/hotalloc"
+)
+
+// All lists every analyzer the suite enforces, in report order.
+var All = []*analysis.Analyzer{
+	hotalloc.Analyzer,
+	ctxflow.Analyzer,
+	atomiccounter.Analyzer,
+	floateq.Analyzer,
+}
+
+// KnownNames is the directive-validation set for //lint:ignore.
+func KnownNames() map[string]bool {
+	m := make(map[string]bool, len(All))
+	for _, a := range All {
+		m[a.Name] = true
+	}
+	return m
+}
+
+// Select returns the analyzers whose names match the regexp (all when the
+// pattern is empty).
+func Select(pattern string) ([]*analysis.Analyzer, error) {
+	if pattern == "" {
+		return All, nil
+	}
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return nil, fmt.Errorf("bad -run pattern: %v", err)
+	}
+	var out []*analysis.Analyzer
+	for _, a := range All {
+		if re.MatchString(a.Name) {
+			out = append(out, a)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-run %q matches no analyzer", pattern)
+	}
+	return out, nil
+}
+
+// Result is the outcome of one suite run.
+type Result struct {
+	// Findings are unsuppressed diagnostics, including malformed
+	// //lint:ignore directives. Non-empty Findings fail the build.
+	Findings []analysis.Diagnostic
+	// Suppressed are diagnostics covered by a //lint:ignore directive.
+	Suppressed []analysis.Diagnostic
+}
+
+// Run executes the analyzers over the packages, applying suppressions.
+// Directive validation always uses the full registry so a //lint:ignore for
+// an analyzer excluded by -run doesn't report as unknown.
+func Run(pkgs []*analysis.Package, analyzers []*analysis.Analyzer) (*Result, error) {
+	res := &Result{}
+	known := KnownNames()
+	for _, pkg := range pkgs {
+		sup := analysis.CollectSuppressions(pkg.Fset, pkg.Files, known)
+		res.Findings = append(res.Findings, sup.Malformed...)
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer: a,
+				PkgPath:  pkg.Path,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Pkg,
+				Info:     pkg.Info,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.Path, err)
+			}
+			kept, suppressed := sup.Apply(pass.Diagnostics())
+			res.Findings = append(res.Findings, kept...)
+			res.Suppressed = append(res.Suppressed, suppressed...)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppressions are //lint:ignore directives collected from one package.
+//
+// A directive has the form
+//
+//	//lint:ignore analyzer1,analyzer2 reason for ignoring
+//
+// and suppresses findings from the named analyzers on the directive's own
+// line (trailing comment) and on the line directly below it (standalone
+// comment above the offending statement). The reason is mandatory: a
+// suppression with no justification is itself reported as a violation.
+type Suppressions struct {
+	// byLine maps file → line → analyzer names suppressed on that line.
+	byLine map[string]map[int][]string
+	// Malformed lists directives that don't parse (missing analyzer list
+	// or missing reason) or that name an unknown analyzer.
+	Malformed []Diagnostic
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// CollectSuppressions scans the comment groups of files for //lint:ignore
+// directives. knownNames guards against typos in analyzer names; pass nil
+// to skip that validation.
+func CollectSuppressions(fset *token.FileSet, files []*ast.File, knownNames map[string]bool) *Suppressions {
+	s := &Suppressions{byLine: make(map[string]map[int][]string)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+				names, reason, ok := strings.Cut(rest, " ")
+				if !ok || strings.TrimSpace(reason) == "" || names == "" {
+					s.Malformed = append(s.Malformed, Diagnostic{
+						Analyzer: "lint",
+						Pos:      pos,
+						Message:  "malformed //lint:ignore directive: want `//lint:ignore analyzer[,analyzer] reason`",
+					})
+					continue
+				}
+				for _, name := range strings.Split(names, ",") {
+					name = strings.TrimSpace(name)
+					if knownNames != nil && !knownNames[name] {
+						s.Malformed = append(s.Malformed, Diagnostic{
+							Analyzer: "lint",
+							Pos:      pos,
+							Message:  fmt.Sprintf("//lint:ignore names unknown analyzer %q", name),
+						})
+						continue
+					}
+					lines := s.byLine[pos.Filename]
+					if lines == nil {
+						lines = make(map[int][]string)
+						s.byLine[pos.Filename] = lines
+					}
+					// The directive covers its own line (trailing form) and
+					// the next line (standalone form above the statement).
+					lines[pos.Line] = append(lines[pos.Line], name)
+					lines[pos.Line+1] = append(lines[pos.Line+1], name)
+				}
+			}
+		}
+	}
+	return s
+}
+
+// Suppressed reports whether d is covered by a directive.
+func (s *Suppressions) Suppressed(d Diagnostic) bool {
+	for _, name := range s.byLine[d.Pos.Filename][d.Pos.Line] {
+		if name == d.Analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// Apply partitions diags into kept and suppressed findings.
+func (s *Suppressions) Apply(diags []Diagnostic) (kept, suppressed []Diagnostic) {
+	for _, d := range diags {
+		if s.Suppressed(d) {
+			suppressed = append(suppressed, d)
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	return kept, suppressed
+}

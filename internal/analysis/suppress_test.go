@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+const suppressSrc = `package p
+
+func f() {
+	//lint:ignore floateq the next line is vetted
+	a := 1
+	b := 2 //lint:ignore hotalloc trailing form covers this line
+	//lint:ignore floateq
+	c := 3
+	//lint:ignore nosuch unknown analyzer name
+	d := 4
+	_, _, _, _ = a, b, c, d
+}
+`
+
+func TestCollectSuppressions(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", suppressSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := map[string]bool{"floateq": true, "hotalloc": true}
+	sup := CollectSuppressions(fset, []*ast.File{f}, known)
+
+	// Two malformed directives: the reason-less one and the unknown name.
+	if len(sup.Malformed) != 2 {
+		t.Fatalf("malformed = %d (%v), want 2", len(sup.Malformed), sup.Malformed)
+	}
+
+	mk := func(analyzer string, line int) Diagnostic {
+		return Diagnostic{Analyzer: analyzer, Pos: token.Position{Filename: "p.go", Line: line}}
+	}
+	cases := []struct {
+		d    Diagnostic
+		want bool
+	}{
+		{mk("floateq", 5), true},   // standalone directive covers next line
+		{mk("hotalloc", 5), false}, // wrong analyzer
+		{mk("hotalloc", 6), true},  // trailing form covers its own line
+		{mk("floateq", 8), false},  // reason-less directive must not suppress
+		{mk("floateq", 11), false}, // no directive at all
+	}
+	for _, c := range cases {
+		if got := sup.Suppressed(c.d); got != c.want {
+			t.Errorf("Suppressed(%s line %d) = %v, want %v", c.d.Analyzer, c.d.Pos.Line, got, c.want)
+		}
+	}
+}

@@ -58,6 +58,10 @@ type filterScratch struct {
 	seen map[int64]struct{}
 	ids  []int64
 	def  []int64
+	// maxd is the KNN refinement's MAXDIST sort buffer (see kth in
+	// KNNJoin); reused across targets so the k-th-distance computation
+	// doesn't allocate per call.
+	maxd []float64
 }
 
 // reset clears the scratch for the next target and returns it.
@@ -267,21 +271,34 @@ func bruteMinDist(ta, tb []geom.Triangle) float64 {
 	return math.Sqrt(best)
 }
 
+// groupPair is one (sub-object group, sub-object group) pair queued for
+// minDistPartitioned's branch-and-bound, ordered by box distance.
+type groupPair struct {
+	i, j int
+	d2   float64
+}
+
+// groupPairPool recycles minDistPartitioned's pair buffers: the function
+// runs once per candidate pair on the refine hot path and would otherwise
+// allocate a len(ga)*len(gb) slice each time (flagged by hotalloc).
+var groupPairPool = sync.Pool{New: func() any { return new([]groupPair) }}
+
 // minDistPartitioned runs branch-and-bound over sub-object group pairs
 // ordered by box distance, evaluating pairs until no remaining pair's box
 // can beat the best distance found.
 func (c *evalCtx) minDistPartitioned(a, b obj, upper float64) float64 {
 	ga, gb := c.groupsOf(a), c.groupsOf(b)
-	type pair struct {
-		i, j int
-		d2   float64
-	}
-	pairs := make([]pair, 0, len(ga)*len(gb))
+	buf := groupPairPool.Get().(*[]groupPair)
+	defer func() {
+		groupPairPool.Put(buf)
+	}()
+	pairs := (*buf)[:0]
 	for i := range ga {
 		for j := range gb {
-			pairs = append(pairs, pair{i, j, ga[i].box.MinDist2(gb[j].box)})
+			pairs = append(pairs, groupPair{i, j, ga[i].box.MinDist2(gb[j].box)})
 		}
 	}
+	*buf = pairs
 	sort.Slice(pairs, func(x, y int) bool { return pairs[x].d2 < pairs[y].d2 })
 
 	best2 := math.Inf(1)

@@ -80,15 +80,17 @@ func (e *Engine) KNNJoin(ctx context.Context, target, source *Dataset, q QueryOp
 		// ascending LODs, shrinking MAXDISTs and pruning with the k-th
 		// smallest MAXDIST, until only k candidates survive or the highest
 		// LOD settles everything.
+		sc := &ec.scratch[w]
 		kth := func() float64 {
 			if len(cands) < q.K {
 				return math.Inf(1)
 			}
-			maxd := make([]float64, len(cands))
-			for i, c := range cands {
-				maxd[i] = c.maxDist
+			maxd := sc.maxd[:0]
+			for _, c := range cands {
+				maxd = append(maxd, c.maxDist)
 			}
 			sort.Float64s(maxd)
+			sc.maxd = maxd
 			return maxd[q.K-1]
 		}
 		minmax := kth()
@@ -185,6 +187,7 @@ func (e *Engine) KNNJoin(ctx context.Context, target, source *Dataset, q QueryOp
 		}
 
 		sort.Slice(cands, func(i, j int) bool {
+			//lint:ignore floateq exact tie-break between settled distances; equality only routes to the deterministic ID order
 			if cands[i].minDist != cands[j].minDist {
 				return cands[i].minDist < cands[j].minDist
 			}
@@ -212,6 +215,7 @@ func (e *Engine) KNNJoin(ctx context.Context, target, source *Dataset, q QueryOp
 		if sink[i].Target != sink[j].Target {
 			return sink[i].Target < sink[j].Target
 		}
+		//lint:ignore floateq exact tie-break between settled distances; equality only routes to the deterministic ID order
 		if sink[i].Dist != sink[j].Dist {
 			return sink[i].Dist < sink[j].Dist
 		}

@@ -19,6 +19,9 @@ import (
 // decoding further. Only points outside every intermediate LOD must be
 // checked at full resolution.
 func (e *Engine) ContainingObjects(ctx context.Context, d *Dataset, p geom.Vec3, q QueryOptions) ([]int64, *Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	cacheBefore := e.cache.Stats()
 	col := newCollector(d.maxLOD)
@@ -45,6 +48,11 @@ func (e *Engine) ContainingObjects(ctx context.Context, d *Dataset, p geom.Vec3,
 		last := li == len(lods)-1
 		next := remaining[:0]
 		for _, id := range remaining {
+			// Unlike the join paths, this loop does not run under
+			// runPerTarget, so it must observe the query deadline itself.
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
 			o, err := ec.decode(d, id, lod)
 			if err != nil {
 				return nil, nil, err
@@ -96,6 +104,9 @@ func (c *evalCtx) pointInside(o obj, p geom.Vec3) bool {
 // LOD: the object may contain the box, or — when the object's MBB lies
 // inside the box — be wholly contained by it.
 func (e *Engine) RangeQuery(ctx context.Context, d *Dataset, box geom.Box3, q QueryOptions) ([]int64, *Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	cacheBefore := e.cache.Stats()
 	col := newCollector(d.maxLOD)
@@ -129,6 +140,10 @@ func (e *Engine) RangeQuery(ctx context.Context, d *Dataset, box geom.Box3, q Qu
 		last := li == len(lods)-1
 		next := remaining[:0]
 		for _, id := range remaining {
+			// Not under runPerTarget: observe the query deadline here.
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
 			o, err := ec.decode(d, id, lod)
 			if err != nil {
 				return nil, nil, err

@@ -152,6 +152,7 @@ func segCrossesFace(a, b Vec3, tri Triangle) bool {
 	}
 	da := n.Dot(a.Sub(tri.A))
 	db := n.Dot(b.Sub(tri.A))
+	//lint:ignore floateq with da*db <= 0, da == db only when both are zero (coplanar segment) or underflow-equal; the exact test also guards the da/(da-db) division below
 	if da*db > 0 || da == db {
 		return false
 	}

@@ -189,6 +189,7 @@ func ReadWKB(data []byte) (*Mesh, error) {
 				continue // interior rings (holes) are not supported; skip
 			}
 			// Drop the closing repeat.
+			//lint:ignore floateq the WKB closing vertex is a byte-identical repeat of the first; exact equality is the spec'd test
 			if len(pts) >= 2 && pts[0] == pts[len(pts)-1] {
 				pts = pts[:len(pts)-1]
 			}

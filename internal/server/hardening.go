@@ -164,6 +164,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	}
 	s.ready.Store(false)
 	s.log.Printf("server: shutdown requested, draining for up to %s", s.cfg.ShutdownGrace)
+	//lint:ignore ctxflow the drain deadline must outlive the run context, which is already canceled at this point; a fresh root is deliberate
 	shCtx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
 	defer cancel()
 	if err := srv.Shutdown(shCtx); err != nil {
