@@ -1,5 +1,6 @@
 GO ?= go
 FUZZTIME ?= 10s
+CHAOSTIME ?= 20s
 # External analyzers are pinned and run via `go run pkg@version` so no
 # binary needs to be installed or vendored. They require module downloads;
 # the targets below probe for availability and skip with a notice when the
@@ -15,7 +16,7 @@ BENCHOUT ?= BENCH_2.json
 # Extra label=file pairs merged into BENCHOUT (e.g. a saved baseline run).
 BENCHMERGE ?=
 
-.PHONY: build test vet lint staticcheck govulncheck race fuzz-short fuzz ci bench
+.PHONY: build test vet lint staticcheck govulncheck race fuzz-short fuzz chaos-short ci bench
 
 build:
 	$(GO) build ./...
@@ -61,7 +62,13 @@ fuzz:
 	$(GO) test -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/ppvp
 	$(GO) test -fuzz=FuzzDecodeTile -fuzztime=$(FUZZTIME) ./internal/storage
 
-ci: vet lint staticcheck govulncheck race fuzz-short
+# Seeded chaos campaign under the race detector: $(CHAOSTIME) of fresh-seed
+# iterations of TestChaosCampaignExtended (corrupt tiles + probabilistic
+# decode errors + decode panics; see internal/core/chaos_test.go).
+chaos-short:
+	_3DPRO_CHAOS=$(CHAOSTIME) $(GO) test -race -run 'TestChaosCampaign' -count=1 ./internal/core
+
+ci: vet lint staticcheck govulncheck race fuzz-short chaos-short
 
 # Run the FPR query benchmarks (Table 1 cells) and the decode/cache
 # micro-benchmarks, then fold the text output into $(BENCHOUT) as JSON.

@@ -8,10 +8,14 @@
 //
 // The server runs hardened for production: per-query deadlines
 // (-query-timeout), admission control (-max-inflight), request body limits
-// (-max-body-bytes), /healthz and /readyz probes, per-request panic
-// isolation, and graceful draining on SIGINT/SIGTERM (-shutdown-grace).
-// Fault injection for resilience testing is available via -faults or the
-// _3DPRO_FAULTS environment variable (see internal/faultinject).
+// (-max-body-bytes), /healthz, /readyz, and /statusz probes, per-request
+// panic isolation, and graceful draining on SIGINT/SIGTERM
+// (-shutdown-grace). -salvage loads damaged dataset directories in salvage
+// mode (undamaged objects survive, the rest are quarantined);
+// -quarantine-threshold and -quarantine-cooldown tune the per-object
+// circuit breaker. Fault injection for resilience testing is available via
+// -faults or the _3DPRO_FAULTS environment variable (see
+// internal/faultinject).
 //
 // See internal/server for the API.
 package main
@@ -30,6 +34,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/faultinject"
 	"repro/internal/server"
+	"repro/internal/storage"
 )
 
 type datasetFlags []string
@@ -46,6 +51,9 @@ func main() {
 	maxBodyBytes := flag.Int64("max-body-bytes", 1<<20, "request body size limit in bytes")
 	shutdownGrace := flag.Duration("shutdown-grace", 15*time.Second, "drain allowance on SIGINT/SIGTERM")
 	faults := flag.String("faults", "", "fault-injection spec, e.g. 'ppvp.decode=sleep:50ms' (also env "+faultinject.EnvVar+")")
+	salvage := flag.Bool("salvage", false, "load -dataset directories in salvage mode: skip and quarantine damaged objects instead of refusing the dataset")
+	quarThreshold := flag.Int("quarantine-threshold", 0, "decode failures before an object is quarantined (default 3)")
+	quarCooldown := flag.Duration("quarantine-cooldown", 0, "how long a quarantined object stays blocked before a probe is admitted (default 30s)")
 	flag.Var(&datasets, "dataset", "name=dir of a persisted dataset (repeatable)")
 	flag.Parse()
 
@@ -65,7 +73,10 @@ func main() {
 		cfg.QueryTimeout = -1 // flag 0 = disabled; Config 0 = default
 	}
 
-	eng := core.NewEngine(core.EngineOptions{})
+	eng := core.NewEngine(core.EngineOptions{
+		QuarantineThreshold: *quarThreshold,
+		QuarantineCooldown:  *quarCooldown,
+	})
 	defer eng.Close()
 	srv := server.NewWithConfig(eng, cfg)
 
@@ -75,9 +86,26 @@ func main() {
 		if !ok {
 			log.Fatalf("bad -dataset %q, want name=dir", spec)
 		}
-		d, err := eng.LoadDataset(dir)
-		if err != nil {
-			log.Fatalf("loading %s: %v", dir, err)
+		var d *core.Dataset
+		var err error
+		if *salvage {
+			var rep *storage.SalvageReport
+			d, rep, err = eng.LoadDatasetSalvage(dir)
+			if err != nil {
+				log.Fatalf("salvage-loading %s: %v", dir, err)
+			}
+			if !rep.Clean() {
+				log.Printf("salvaged %s: %d objects loaded, %d tiles skipped, %d objects dropped (quarantined)",
+					dir, rep.ObjectsLoaded, len(rep.TilesSkipped), len(rep.ObjectsDropped))
+				for _, dr := range rep.ObjectsDropped {
+					log.Printf("  dropped object %d: %s", dr.ID, dr.Reason)
+				}
+			}
+		} else {
+			d, err = eng.LoadDataset(dir)
+			if err != nil {
+				log.Fatalf("loading %s: %v (is the directory damaged? try -salvage)", dir, err)
+			}
 		}
 		d.Name = name
 		srv.AddDataset(d)

@@ -61,3 +61,44 @@ func Vetted(ctx context.Context, n int) error {
 
 // NoContext has nothing to check.
 func NoContext(n int) int { return n + 1 }
+
+// DegradeRun models the degrade-mode error-collection dispatch added with
+// partial-failure tolerance: the per-object callback and the error hook
+// both stay under the query context. No finding.
+func DegradeRun(ctx context.Context, objs []int, fn func(int) error, onErr func(int, error) error) error {
+	for _, o := range objs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := fn(o); err != nil {
+			if err = onErr(o, err); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// DegradeDetachedRetry collects per-object errors but rebases the retry
+// onto a fresh root, losing the query deadline mid-degrade.
+func DegradeDetachedRetry(ctx context.Context, objs []int, retry func(context.Context, int) error) error {
+	_ = ctx.Err()
+	for _, o := range objs {
+		if err := retry(context.Background(), o); err != nil { // want "replaces its incoming context with context.Background"
+			return err
+		}
+	}
+	return nil
+}
+
+// DegradeCollector drops the context entirely while merging worker errors,
+// so a cancelled query would keep collecting forever.
+func DegradeCollector(ctx context.Context, errs []error) []error { // want "never uses its incoming context.Context"
+	out := errs[:0]
+	for _, e := range errs {
+		if e != nil {
+			out = append(out, e)
+		}
+	}
+	return out
+}

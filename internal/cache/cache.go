@@ -59,6 +59,12 @@ type Stats struct {
 	// RoundsApplied + RoundsSkipped.
 	RoundsApplied int64
 	RoundsSkipped int64
+
+	// DecodeFailures counts miss-path decodes that returned an error or
+	// panicked. Failures are never cached, so each retry of a bad object
+	// counts again — a growing value under steady load is the cache-level
+	// symptom of corrupt or hostile blobs.
+	DecodeFailures int64
 }
 
 func (s Stats) add(o Stats) Stats {
@@ -69,6 +75,7 @@ func (s Stats) add(o Stats) Stats {
 	s.WarmStarts += o.WarmStarts
 	s.RoundsApplied += o.RoundsApplied
 	s.RoundsSkipped += o.RoundsSkipped
+	s.DecodeFailures += o.DecodeFailures
 	return s
 }
 
@@ -76,13 +83,14 @@ func (s Stats) add(o Stats) Stats {
 // (for example one query) out of the engine-lifetime counters.
 func (s Stats) Sub(o Stats) Stats {
 	return Stats{
-		Hits:          s.Hits - o.Hits,
-		Misses:        s.Misses - o.Misses,
-		Evictions:     s.Evictions - o.Evictions,
-		BytesUsed:     s.BytesUsed,
-		WarmStarts:    s.WarmStarts - o.WarmStarts,
-		RoundsApplied: s.RoundsApplied - o.RoundsApplied,
-		RoundsSkipped: s.RoundsSkipped - o.RoundsSkipped,
+		Hits:           s.Hits - o.Hits,
+		Misses:         s.Misses - o.Misses,
+		Evictions:      s.Evictions - o.Evictions,
+		BytesUsed:      s.BytesUsed,
+		WarmStarts:     s.WarmStarts - o.WarmStarts,
+		RoundsApplied:  s.RoundsApplied - o.RoundsApplied,
+		RoundsSkipped:  s.RoundsSkipped - o.RoundsSkipped,
+		DecodeFailures: s.DecodeFailures - o.DecodeFailures,
 	}
 }
 
@@ -224,6 +232,7 @@ func (s *shard) complete(e *entry, m *mesh.Mesh, err error) {
 	close(e.ready)
 	if err != nil {
 		// Do not cache failures.
+		s.stats.DecodeFailures++
 		delete(s.entries, e.key)
 		return
 	}
@@ -239,7 +248,16 @@ func (s *shard) fail(e *entry, r any) {
 	defer s.mu.Unlock()
 	e.err = fmt.Errorf("cache: decode panicked: %v", r)
 	close(e.ready)
+	s.stats.DecodeFailures++
 	delete(s.entries, e.key)
+}
+
+// noteDecodeFailure records a decode failure on the cache-disabled path,
+// where no entry lifecycle runs.
+func (s *shard) noteDecodeFailure() {
+	s.mu.Lock()
+	s.stats.DecodeFailures++
+	s.mu.Unlock()
 }
 
 // GetOrDecode returns the cached mesh for key, or runs decode to produce it.
@@ -251,7 +269,11 @@ func (c *Cache) GetOrDecode(key Key, decode func() (*mesh.Mesh, error)) (*mesh.M
 		s.mu.Lock()
 		s.stats.Misses++
 		s.mu.Unlock()
-		return decode()
+		m, err := decode()
+		if err != nil {
+			s.noteDecodeFailure()
+		}
+		return m, err
 	}
 
 	e, found := s.lookupOrReserve(key)
@@ -295,10 +317,15 @@ func (c *Cache) GetOrDecodeProgressive(key Key, comp *ppvp.Compressed, onMiss fu
 		s.mu.Unlock()
 		if onMiss != nil {
 			if err := onMiss(); err != nil {
+				s.noteDecodeFailure()
 				return nil, err
 			}
 		}
-		return comp.Decode(key.LOD)
+		m, err := comp.Decode(key.LOD)
+		if err != nil {
+			s.noteDecodeFailure()
+		}
+		return m, err
 	}
 
 	e, found := s.lookupOrReserve(key)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"sort"
 	"sync"
@@ -12,6 +13,8 @@ import (
 	"repro/internal/index/aabbtree"
 	"repro/internal/mesh"
 	"repro/internal/partition"
+	"repro/internal/quarantine"
+	"repro/internal/storage"
 )
 
 // evalCtx is the per-join geometry computer: it decodes objects through the
@@ -33,6 +36,10 @@ type evalCtx struct {
 	// scratch holds per-worker filter buffers, indexed by the worker slot
 	// runPerTarget hands to each callback; no locking needed.
 	scratch []filterScratch
+
+	// deg collects per-object failures when the query runs under the
+	// Degrade error policy; nil under FailFast.
+	deg *degrader
 }
 
 type ctxKey struct {
@@ -84,7 +91,7 @@ type triGroup struct {
 }
 
 func newEvalCtx(e *Engine, opts QueryOptions, col *collector) *evalCtx {
-	return &evalCtx{
+	c := &evalCtx{
 		e:       e,
 		opts:    opts,
 		col:     col,
@@ -92,6 +99,10 @@ func newEvalCtx(e *Engine, opts QueryOptions, col *collector) *evalCtx {
 		groups:  make(map[ctxKey]*groupSlot),
 		scratch: make([]filterScratch, opts.workers(e)),
 	}
+	if opts.OnError == Degrade {
+		c.deg = newDegrader(opts.workers(e), opts.ErrorBudget)
+	}
+	return c
 }
 
 // obj identifies one object of one dataset at one LOD, with its decoded
@@ -110,24 +121,108 @@ func (c *evalCtx) key(o obj) ctxKey { return ctxKey{seq: o.ds.seq, id: o.id, lod
 // retained progressive decoder when one sits at a lower LOD (the cache's
 // warm-start protocol), so an FPR candidate walking the LOD ladder replays
 // each decode round at most once.
+//
+// Decodes are gated by the engine's quarantine registry: an object whose
+// breaker is open is refused with ErrQuarantined, and every outcome
+// (success, error, panic) is reported back so repeat offenders trip open.
+// Under the Degrade error policy, transient failures are retried with
+// backoff and decode panics are converted to per-object errors; under
+// FailFast both propagate unchanged, preserving strict fault semantics.
 func (c *evalCtx) decode(ds *Dataset, id int64, lod int) (obj, error) {
-	key := cache.Key{Object: ds.seq<<40 | id, LOD: lod}
+	sto := ds.Tileset.Object(id)
+	if sto == nil {
+		// A hole left by salvage loading; the quarantine registry normally
+		// has it tripped already, but refuse regardless.
+		return obj{}, fmt.Errorf("core: object %d of %q is not loaded: %w", id, ds.Name, ErrQuarantined)
+	}
+	qk := quarantine.Key{Dataset: ds.seq, Object: id}
+	if !c.e.quar.Allow(qk) {
+		c.col.quarantineSkips.Add(1)
+		return obj{}, fmt.Errorf("core: object %d of %q skipped: %w", id, ds.Name, ErrQuarantined)
+	}
+	o, err := c.decodeGuarded(ds, sto, id, lod, qk)
+	if err != nil {
+		return obj{}, fmt.Errorf("core: decoding object %d of %q at LOD %d: %w", id, ds.Name, lod, err)
+	}
+	return o, nil
+}
+
+// decodeGuarded runs the decode attempts for one admitted object and settles
+// its breaker verdict. Exactly one of Success/Failure/Release reaches the
+// registry: success and exhausted retries settle the breaker; a context
+// expiry mid-attempt charges nothing but frees any half-open probe; a panic
+// under FailFast records the failure before resuming the unwind (the cache
+// has already cleaned its own state by re-panicking).
+func (c *evalCtx) decodeGuarded(ds *Dataset, sto *storage.Object, id int64, lod int, qk quarantine.Key) (o obj, err error) {
+	settled := false
+	defer func() {
+		if settled {
+			return
+		}
+		if r := recover(); r != nil {
+			c.e.quar.Failure(qk, firstLine(fmt.Sprint(r)))
+			panic(r)
+		}
+		c.e.quar.Release(qk)
+	}()
+
+	attempts := 1
+	if c.deg != nil {
+		attempts += c.e.opts.DecodeRetries
+	}
+	for try := 0; ; try++ {
+		var m *mesh.Mesh
+		m, err = c.decodeOnce(sto, ds.seq, id, lod)
+		if err == nil {
+			settled = true
+			c.e.quar.Success(qk)
+			return obj{ds: ds, id: id, lod: lod, mesh: m}, nil
+		}
+		if isCtxErr(err) {
+			return obj{}, err
+		}
+		if try+1 >= attempts {
+			break
+		}
+		c.col.decodeRetries.Add(1)
+		if b := c.e.opts.DecodeRetryBackoff; b > 0 {
+			time.Sleep(b << uint(try))
+		}
+	}
+	settled = true
+	c.e.quar.Failure(qk, firstLine(err.Error()))
+	return obj{}, err
+}
+
+// decodeOnce is a single decode attempt through the engine cache. Under
+// Degrade, a panic out of the decoder (or the cache's re-panic after its own
+// cleanup) is converted into an error so the attempt can be retried or the
+// object skipped; under FailFast panics propagate to callRecovered.
+func (c *evalCtx) decodeOnce(sto *storage.Object, seq, id int64, lod int) (m *mesh.Mesh, err error) {
+	if c.deg != nil {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("decode panic: %v", r)
+			}
+		}()
+	}
+	key := cache.Key{Object: seq<<40 | id, LOD: lod}
 	missed := false
 	t0 := time.Now()
-	m, err := c.e.cache.GetOrDecodeProgressive(key, ds.Tileset.Object(id).Comp, func() error {
+	m, err = c.e.cache.GetOrDecodeProgressive(key, sto.Comp, func() error {
 		missed = true
 		c.col.decodes.Add(1)
 		return faultinject.Fire(faultinject.PointCoreDecode)
 	})
 	if err != nil {
-		return obj{}, err
+		return nil, err
 	}
 	if missed {
 		c.col.decodeNs.Add(time.Since(t0).Nanoseconds())
 	} else {
 		c.col.cacheHits.Add(1)
 	}
-	return obj{ds: ds, id: id, lod: lod, mesh: m}, nil
+	return m, nil
 }
 
 // tree returns (building if needed) the AABB-tree of an object at a LOD.

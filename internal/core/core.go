@@ -24,9 +24,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/gpusim"
+	"repro/internal/quarantine"
 )
 
 // Paradigm selects how the refinement step walks the LODs.
@@ -103,6 +105,21 @@ type EngineOptions struct {
 	// GPUWorkers and GPUBatch configure the simulated GPU device.
 	GPUWorkers int
 	GPUBatch   int
+
+	// QuarantineThreshold is the per-object failure count that trips the
+	// quarantine circuit breaker open (default 3); QuarantineCooldown is how
+	// long a tripped object stays blocked before a half-open probe is
+	// admitted (default 30s). See package quarantine.
+	QuarantineThreshold int
+	QuarantineCooldown  time.Duration
+
+	// DecodeRetries is how many extra decode attempts Degrade-policy queries
+	// make per object before recording the failure (default 1; negative
+	// disables retries). FailFast queries never retry: their fault contract
+	// is "first failure aborts". DecodeRetryBackoff is the sleep before the
+	// first retry, doubling each attempt (default 1ms; negative disables).
+	DecodeRetries      int
+	DecodeRetryBackoff time.Duration
 }
 
 func (o *EngineOptions) setDefaults() {
@@ -115,6 +132,16 @@ func (o *EngineOptions) setDefaults() {
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
+	if o.DecodeRetries == 0 {
+		o.DecodeRetries = 1
+	} else if o.DecodeRetries < 0 {
+		o.DecodeRetries = 0
+	}
+	if o.DecodeRetryBackoff == 0 {
+		o.DecodeRetryBackoff = time.Millisecond
+	} else if o.DecodeRetryBackoff < 0 {
+		o.DecodeRetryBackoff = 0
+	}
 }
 
 // Engine owns the shared query-processing resources: the decode cache and
@@ -124,6 +151,7 @@ type Engine struct {
 	opts    EngineOptions
 	cache   *cache.Cache
 	dev     *gpusim.Device
+	quar    *quarantine.Registry
 	nextSeq atomic.Int64
 }
 
@@ -134,6 +162,10 @@ func NewEngine(opts EngineOptions) *Engine {
 		opts:  opts,
 		cache: cache.New(opts.CacheBytes),
 		dev:   gpusim.New(opts.GPUWorkers, opts.GPUBatch),
+		quar: quarantine.New(quarantine.Options{
+			Threshold: opts.QuarantineThreshold,
+			Cooldown:  opts.QuarantineCooldown,
+		}),
 	}
 }
 
@@ -145,6 +177,10 @@ func (e *Engine) Cache() *cache.Cache { return e.cache }
 
 // Device exposes the simulated GPU (for statistics).
 func (e *Engine) Device() *gpusim.Device { return e.dev }
+
+// Quarantine exposes the per-object circuit-breaker registry (for
+// statistics, readiness probes, and operator inspection).
+func (e *Engine) Quarantine() *quarantine.Registry { return e.quar }
 
 // QueryOptions configures one join execution.
 type QueryOptions struct {
@@ -160,6 +196,15 @@ type QueryOptions struct {
 	Workers int
 	// K is the neighbor count for KNNJoin (default 1).
 	K int
+	// OnError selects the partial-failure policy: FailFast (default) aborts
+	// on the first object failure; Degrade skips failing objects and
+	// reports them in Stats.Degraded, with unsettled pairs in
+	// Stats.Uncertain.
+	OnError ErrorPolicy
+	// ErrorBudget bounds the distinct failed objects a Degrade-policy query
+	// tolerates before aborting anyway (0 = default 64; negative =
+	// unlimited). Quarantine skips don't consume the budget.
+	ErrorBudget int
 }
 
 func (q *QueryOptions) workers(e *Engine) int {

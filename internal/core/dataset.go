@@ -69,6 +69,10 @@ type Dataset struct {
 // MaxLOD returns the highest LOD shared by all objects of the dataset.
 func (d *Dataset) MaxLOD() int { return d.maxLOD }
 
+// Seq returns the engine-unique dataset sequence number — the namespace of
+// the dataset's decode-cache and quarantine keys.
+func (d *Dataset) Seq() int64 { return d.seq }
+
 // Len returns the object count.
 func (d *Dataset) Len() int { return len(d.Tileset.Objects) }
 

@@ -67,13 +67,26 @@ func (e *Engine) IntersectJoin(ctx context.Context, target, source *Dataset, q Q
 			}
 			to, err := ec.decode(target, o.ID, lod)
 			if err != nil {
-				return err
+				// Degrade: the target itself is unusable from this LOD on;
+				// pairs settled at lower LODs stay certain, the remaining
+				// candidates become uncertain.
+				skip, aerr := ec.degradeErr(w, target, o.ID, err)
+				if !skip {
+					return aerr
+				}
+				ec.deg.uncertainAll(w, o.ID, remaining)
+				return nil
 			}
 			next := remaining[:0]
 			for _, id := range remaining {
 				so, err := ec.decode(source, id, lod)
 				if err != nil {
-					return err
+					skip, aerr := ec.degradeErr(w, source, id, err)
+					if !skip {
+						return aerr
+					}
+					ec.deg.uncertain(w, Pair{Target: o.ID, Source: id})
+					continue
 				}
 				col.evaluated[lod].Add(1)
 				hit := ec.intersects(to, so)
@@ -101,12 +114,22 @@ func (e *Engine) IntersectJoin(ctx context.Context, target, source *Dataset, q Q
 			top := lods[len(lods)-1]
 			to, err := ec.decode(target, o.ID, top)
 			if err != nil {
-				return err
+				skip, aerr := ec.degradeErr(w, target, o.ID, err)
+				if !skip {
+					return aerr
+				}
+				ec.deg.uncertainAll(w, o.ID, remaining)
+				return nil
 			}
 			for _, id := range remaining {
 				so, err := ec.decode(source, id, top)
 				if err != nil {
-					return err
+					skip, aerr := ec.degradeErr(w, source, id, err)
+					if !skip {
+						return aerr
+					}
+					ec.deg.uncertain(w, Pair{Target: o.ID, Source: id})
+					continue
 				}
 				if ec.containsObject(to, so) || ec.containsObject(so, to) {
 					sink.add(w, Pair{Target: o.ID, Source: id})
@@ -115,12 +138,13 @@ func (e *Engine) IntersectJoin(ctx context.Context, target, source *Dataset, q Q
 			}
 		}
 		return nil
-	})
+	}, ec.deg.backstop(e, target))
 	if err != nil {
 		return nil, nil, err
 	}
 	st := col.snapshot(time.Since(start))
 	st.captureCache(cacheBefore, e.cache.Stats())
+	ec.deg.fill(st)
 	return sink.sorted(), st, nil
 }
 

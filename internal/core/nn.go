@@ -76,6 +76,14 @@ func (e *Engine) KNNJoin(ctx context.Context, target, source *Dataset, q QueryOp
 		}
 		sort.Slice(cands, func(i, j int) bool { return cands[i].id < cands[j].id })
 
+		// Degrade bookkeeping: candidates whose decode failed are parked
+		// here with their last known MINDIST (a lower bound of the true
+		// distance) so the final ranking can tell which of them could still
+		// belong in the top k. targetFailed means nothing more can be
+		// ranked for this target at all.
+		var failed []*nnCand
+		targetFailed := false
+
 		// Progressive refinement (Alg. 3): measure candidate distances at
 		// ascending LODs, shrinking MAXDISTs and pruning with the k-th
 		// smallest MAXDIST, until only k candidates survive or the highest
@@ -112,7 +120,12 @@ func (e *Engine) KNNJoin(ctx context.Context, target, source *Dataset, q QueryOp
 			}
 			to, err := ec.decode(target, o.ID, lod)
 			if err != nil {
-				return err
+				skip, aerr := ec.degradeErr(w, target, o.ID, err)
+				if !skip {
+					return aerr
+				}
+				targetFailed = true
+				break
 			}
 			kept := cands[:0]
 			for _, c := range cands {
@@ -127,7 +140,12 @@ func (e *Engine) KNNJoin(ctx context.Context, target, source *Dataset, q QueryOp
 				}
 				so, err := ec.decode(source, c.id, lod)
 				if err != nil {
-					return err
+					skip, aerr := ec.degradeErr(w, source, c.id, err)
+					if !skip {
+						return aerr
+					}
+					failed = append(failed, c)
+					continue
 				}
 				col.evaluated[lod].Add(1)
 				d := ec.minDist(to, so, c.maxDist*(1+1e-12))
@@ -166,24 +184,52 @@ func (e *Engine) KNNJoin(ctx context.Context, target, source *Dataset, q QueryOp
 		// Settle any remainder exactly (only reachable when the candidate
 		// list shrank to k before the top LOD — their current MAXDISTs are
 		// upper bounds, but ranking requires exact values).
-		top := lods[len(lods)-1]
-		for _, c := range cands {
-			if c.exact {
-				continue
-			}
+		if !targetFailed && !allExact(cands) {
+			top := lods[len(lods)-1]
 			to, err := ec.decode(target, o.ID, top)
 			if err != nil {
-				return err
+				skip, aerr := ec.degradeErr(w, target, o.ID, err)
+				if !skip {
+					return aerr
+				}
+				targetFailed = true
+			} else {
+				kept := cands[:0]
+				for _, c := range cands {
+					if c.exact {
+						kept = append(kept, c)
+						continue
+					}
+					so, err := ec.decode(source, c.id, top)
+					if err != nil {
+						skip, aerr := ec.degradeErr(w, source, c.id, err)
+						if !skip {
+							return aerr
+						}
+						failed = append(failed, c)
+						continue
+					}
+					col.evaluated[top].Add(1)
+					d := ec.minDist(to, so, c.maxDist*(1+1e-12))
+					c.minDist = math.Min(d, c.maxDist)
+					c.maxDist = c.minDist
+					c.exact = true
+					kept = append(kept, c)
+				}
+				cands = kept
 			}
-			so, err := ec.decode(source, c.id, top)
-			if err != nil {
-				return err
+		}
+
+		if targetFailed {
+			// Nothing can be ranked without the target's geometry: every
+			// surviving and parked candidate is unsettled.
+			for _, c := range cands {
+				ec.deg.uncertain(w, Pair{Target: o.ID, Source: c.id})
 			}
-			col.evaluated[top].Add(1)
-			d := ec.minDist(to, so, c.maxDist*(1+1e-12))
-			c.minDist = math.Min(d, c.maxDist)
-			c.maxDist = c.minDist
-			c.exact = true
+			for _, c := range failed {
+				ec.deg.uncertain(w, Pair{Target: o.ID, Source: c.id})
+			}
+			return nil
 		}
 
 		sort.Slice(cands, func(i, j int) bool {
@@ -201,8 +247,23 @@ func (e *Engine) KNNJoin(ctx context.Context, target, source *Dataset, q QueryOp
 			sinkBuf[w] = append(sinkBuf[w], Neighbor{Target: o.ID, Source: c.id, Dist: c.minDist})
 			col.results.Add(1)
 		}
+		// Degrade: a parked candidate whose MINDIST lower bound does not
+		// exceed the k-th reported distance could displace a neighbor, so
+		// the (target, candidate) relation is unsettled. Lower bounds above
+		// the cut prove the candidate out of the top k — certain exclusion.
+		if len(failed) > 0 {
+			cut := math.Inf(1)
+			if len(cands) >= q.K {
+				cut = cands[k-1].minDist
+			}
+			for _, c := range failed {
+				if len(cands) < q.K || c.minDist <= cut*(1+1e-12) {
+					ec.deg.uncertain(w, Pair{Target: o.ID, Source: c.id})
+				}
+			}
+		}
 		return nil
-	})
+	}, ec.deg.backstop(e, target))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -223,6 +284,7 @@ func (e *Engine) KNNJoin(ctx context.Context, target, source *Dataset, q QueryOp
 	})
 	st := col.snapshot(time.Since(start))
 	st.captureCache(cacheBefore, e.cache.Stats())
+	ec.deg.fill(st)
 	return sink, st, nil
 }
 

@@ -9,8 +9,10 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/index/rtree"
+	"repro/internal/mesh"
 	"repro/internal/partition"
 	"repro/internal/ppvp"
+	"repro/internal/quarantine"
 	"repro/internal/storage"
 )
 
@@ -26,6 +28,11 @@ type datasetManifest struct {
 	Ny                   int        `json:"ny"`
 	Nz                   int        `json:"nz"`
 	PartitionTargetFaces int        `json:"partition_target_faces"`
+	// Objects is the saved object count (0 in pre-existing manifests). A
+	// salvage load uses it to account for trailing objects whose records
+	// were destroyed — without it, an object with the highest ID could
+	// vanish without a trace in the report.
+	Objects int `json:"objects,omitempty"`
 }
 
 const manifestFile = "dataset.json"
@@ -44,26 +51,27 @@ func (d *Dataset) SaveDataset(dir string) error {
 		SpaceMax: [3]float64{g.Space.Max.X, g.Space.Max.Y, g.Space.Max.Z},
 		Nx:       g.Nx, Ny: g.Ny, Nz: g.Nz,
 		PartitionTargetFaces: d.partitionTargetFaces,
+		Objects:              d.Len(),
 	}
 	blob, err := json.MarshalIndent(man, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(dir, manifestFile), blob, 0o644)
+	// Atomic replace: a crash mid-save never leaves a truncated manifest
+	// masking the tiles already on disk.
+	return storage.AtomicWriteFile(filepath.Join(dir, manifestFile), blob, 0o644)
 }
 
-// LoadDataset restores a dataset saved with SaveDataset: tiles are read
-// back, and the R-trees and skeletons are rebuilt from the compressed
-// objects (decoding the highest LOD once per object when partitioning was
-// enabled).
-func (e *Engine) LoadDataset(dir string) (*Dataset, error) {
+// loadManifest reads and validates the dataset manifest of dir, returning
+// the recorded grid geometry.
+func loadManifest(dir string) (datasetManifest, storage.Grid, error) {
+	var man datasetManifest
 	blob, err := os.ReadFile(filepath.Join(dir, manifestFile))
 	if err != nil {
-		return nil, fmt.Errorf("core: reading dataset manifest: %w", err)
+		return man, storage.Grid{}, fmt.Errorf("core: reading dataset manifest: %w", err)
 	}
-	var man datasetManifest
 	if err := json.Unmarshal(blob, &man); err != nil {
-		return nil, fmt.Errorf("core: parsing dataset manifest: %w", err)
+		return man, storage.Grid{}, fmt.Errorf("core: parsing dataset manifest: %w", err)
 	}
 	grid := storage.Grid{
 		Space: geom.Box3{
@@ -72,12 +80,28 @@ func (e *Engine) LoadDataset(dir string) (*Dataset, error) {
 		},
 		Nx: man.Nx, Ny: man.Ny, Nz: man.Nz,
 	}
+	return man, grid, nil
+}
+
+// LoadDataset restores a dataset saved with SaveDataset: tiles are read
+// back, and the R-trees and skeletons are rebuilt from the compressed
+// objects (decoding the highest LOD once per object when partitioning was
+// enabled).
+func (e *Engine) LoadDataset(dir string) (*Dataset, error) {
+	man, grid, err := loadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
 	ts, err := storage.LoadTiles(dir, grid)
 	if err != nil {
 		return nil, err
 	}
 	if len(ts.Objects) == 0 {
 		return nil, fmt.Errorf("core: dataset in %s has no objects", dir)
+	}
+	if man.Objects > 0 && man.Objects != len(ts.Objects) {
+		return nil, fmt.Errorf("core: dataset in %s has %d objects, manifest says %d",
+			dir, len(ts.Objects), man.Objects)
 	}
 
 	d := &Dataset{
@@ -97,16 +121,92 @@ func (e *Engine) LoadDataset(dir string) (*Dataset, error) {
 	d.tree = rtree.BulkLoad(entries)
 
 	if man.PartitionTargetFaces > 0 {
-		if err := d.rebuildPartitions(e, man.PartitionTargetFaces); err != nil {
+		if err := d.rebuildPartitions(e, man.PartitionTargetFaces, nil); err != nil {
 			return nil, err
 		}
 	}
 	return d, nil
 }
 
+// LoadDatasetSalvage restores as much of a damaged dataset as possible:
+// tiles are read in salvage mode (per-object checksums let undamaged
+// objects survive a corrupted neighbor), every object that could not be
+// loaded is quarantined under the new dataset's sequence number, and the
+// returned report says exactly what was skipped. The load fails only when
+// the manifest is unreadable or no object survives — anything less is a
+// degraded success.
+func (e *Engine) LoadDatasetSalvage(dir string) (*Dataset, *storage.SalvageReport, error) {
+	man, grid, err := loadManifest(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	ts, rep, err := storage.LoadTilesSalvage(dir, grid)
+	if err != nil {
+		return nil, nil, err
+	}
+	// The tileset is sized by the highest surviving ID; the manifest's count
+	// restores the trailing holes whose records were destroyed outright.
+	for len(ts.Objects) < man.Objects {
+		ts.Objects = append(ts.Objects, nil)
+	}
+
+	d := &Dataset{
+		Name:                 man.Name,
+		seq:                  e.nextSeq.Add(1),
+		Tileset:              ts,
+		maxLOD:               -1,
+		partitionTargetFaces: man.PartitionTargetFaces,
+	}
+	entries := make([]rtree.Entry, 0, rep.ObjectsLoaded)
+	for _, o := range ts.Objects {
+		if o == nil {
+			continue
+		}
+		if d.maxLOD < 0 || o.Comp.MaxLOD() < d.maxLOD {
+			d.maxLOD = o.Comp.MaxLOD()
+		}
+		entries = append(entries, rtree.Entry{Box: o.MBB(), ID: o.ID})
+	}
+	if len(entries) == 0 {
+		return nil, rep, fmt.Errorf("core: dataset in %s has no loadable objects", dir)
+	}
+	d.tree = rtree.BulkLoad(entries)
+
+	// Quarantine the holes so queries skip them with a recorded reason
+	// instead of tripping the breaker one failure at a time, and make the
+	// report authoritative: a record whose ID field was itself corrupted is
+	// reported under its garbage ID by the tile walk, so every hole not
+	// already covered gets its own entry.
+	reported := make(map[int64]bool, len(rep.ObjectsDropped))
+	for _, dr := range rep.ObjectsDropped {
+		reported[dr.ID] = true
+	}
+	for i, o := range ts.Objects {
+		if o == nil {
+			e.quar.Trip(quarantine.Key{Dataset: d.seq, Object: int64(i)}, "dropped during salvage load")
+			if !reported[int64(i)] {
+				rep.ObjectsDropped = append(rep.ObjectsDropped, storage.DroppedObject{
+					ID: int64(i), Reason: "not recovered from any tile",
+				})
+			}
+		}
+	}
+
+	if man.PartitionTargetFaces > 0 {
+		if err := d.rebuildPartitions(e, man.PartitionTargetFaces, rep); err != nil {
+			return nil, rep, err
+		}
+	}
+	return d, rep, nil
+}
+
 // rebuildPartitions recomputes skeletons and the sub-object R-tree from the
-// stored objects (decoding each at its highest LOD).
-func (d *Dataset) rebuildPartitions(e *Engine, targetFaces int) error {
+// stored objects (decoding each at its highest LOD). With a non-nil salvage
+// report the rebuild is lenient: nil holes are skipped, and an object whose
+// blob passed its checksum but fails to decode is quarantined and recorded
+// as dropped instead of failing the load (it keeps its whole-MBB entry so
+// the filter trees stay consistent; queries will skip it as quarantined).
+func (d *Dataset) rebuildPartitions(e *Engine, targetFaces int, salvage *storage.SalvageReport) error {
 	d.skeletons = make([][]geom.Vec3, len(d.Tileset.Objects))
 	var (
 		mu          sync.Mutex
@@ -116,13 +216,26 @@ func (d *Dataset) rebuildPartitions(e *Engine, targetFaces int) error {
 	)
 	sem := make(chan struct{}, e.opts.Workers)
 	for i, o := range d.Tileset.Objects {
+		if o == nil {
+			continue
+		}
 		wg.Add(1)
 		go func(i int, comp *ppvp.Compressed) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			m, err := comp.Decode(comp.MaxLOD())
+			m, err := decodeRecovered(comp)
 			if err != nil {
+				if salvage != nil {
+					e.quar.Trip(quarantine.Key{Dataset: d.seq, Object: int64(i)}, firstLine(err.Error()))
+					mu.Lock()
+					salvage.ObjectsDropped = append(salvage.ObjectsDropped, storage.DroppedObject{
+						ID: int64(i), Reason: "decode failed: " + firstLine(err.Error()),
+					})
+					partEntries = append(partEntries, rtree.Entry{Box: comp.MBB(), ID: int64(i)})
+					mu.Unlock()
+					return
+				}
 				mu.Lock()
 				if firstErr == nil {
 					firstErr = err
@@ -153,4 +266,16 @@ func (d *Dataset) rebuildPartitions(e *Engine, targetFaces int) error {
 	}
 	d.partTree = rtree.BulkLoad(partEntries)
 	return nil
+}
+
+// decodeRecovered decodes the object's top LOD, converting decoder panics
+// into errors: a salvaged blob can pass its checksum (the corruption
+// predates the save) and still be hostile to the decoder.
+func decodeRecovered(comp *ppvp.Compressed) (m *mesh.Mesh, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("decode panic: %v", r)
+		}
+	}()
+	return comp.Decode(comp.MaxLOD())
 }

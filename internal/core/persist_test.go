@@ -5,6 +5,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/quarantine"
 )
 
 func TestSaveLoadDatasetRoundTrip(t *testing.T) {
@@ -70,5 +72,82 @@ func TestLoadDatasetErrors(t *testing.T) {
 	}
 	if _, err := e.LoadDataset(dir); err == nil {
 		t.Error("corrupt manifest accepted")
+	}
+}
+
+// TestLoadDatasetSalvage damages one record of a saved dataset and checks
+// the strict load refuses it while the salvage load recovers the rest,
+// quarantines the hole, and still answers queries.
+func TestLoadDatasetSalvage(t *testing.T) {
+	e := testEngine(t)
+	a, b := buildPair(t, e)
+
+	clean, _, err := e.IntersectJoin(context.Background(), a, b, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := a.SaveDataset(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one byte inside the first record's blob of one tile.
+	tiles, err := filepath.Glob(filepath.Join(dir, "tile-*.bin"))
+	if err != nil || len(tiles) == 0 {
+		t.Fatalf("no tiles saved: %v", err)
+	}
+	data, err := os.ReadFile(tiles[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[8+12+10] ^= 0xFF
+	if err := os.WriteFile(tiles[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := e.LoadDataset(dir); err == nil {
+		t.Fatal("strict load accepted a damaged tile")
+	}
+	d2, rep, err := e.LoadDatasetSalvage(dir)
+	if err != nil {
+		t.Fatalf("salvage load: %v (report %+v)", err, rep)
+	}
+	if rep.Clean() || len(rep.ObjectsDropped) == 0 {
+		t.Fatalf("report claims clean load: %+v", rep)
+	}
+	if len(d2.Tileset.Objects) != a.Len() {
+		t.Fatalf("salvaged object slots = %d, want %d (manifest count)", len(d2.Tileset.Objects), a.Len())
+	}
+	var holes []int64
+	for i, o := range d2.Tileset.Objects {
+		if o == nil {
+			holes = append(holes, int64(i))
+		}
+	}
+	if len(holes) != 1 {
+		t.Fatalf("holes = %v, want exactly one", holes)
+	}
+	if !e.Quarantine().Quarantined(quarantine.Key{Dataset: d2.Seq(), Object: holes[0]}) {
+		t.Fatalf("hole %d not quarantined", holes[0])
+	}
+
+	// A Degrade query answers with the clean pairs not touching the hole.
+	got, st, err := e.IntersectJoin(context.Background(), d2, b, QueryOptions{OnError: Degrade})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]Pair, 0, len(clean))
+	for _, p := range clean {
+		if p.Target != holes[0] {
+			want = append(want, p)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("degrade pairs = %d, want %d (stats %v)", len(got), len(want), st)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pair[%d] = %v, want %v", i, got[i], want[i])
+		}
 	}
 }

@@ -55,7 +55,14 @@ func (e *Engine) ContainingObjects(ctx context.Context, d *Dataset, p geom.Vec3,
 			}
 			o, err := ec.decode(d, id, lod)
 			if err != nil {
-				return nil, nil, err
+				// Single-threaded path: worker slot 0 owns the degrade
+				// buffers.
+				skip, aerr := ec.degradeErr(0, d, id, err)
+				if !skip {
+					return nil, nil, aerr
+				}
+				ec.deg.uncertainID(id)
+				continue
 			}
 			col.evaluated[lod].Add(1)
 			inside := ec.pointInside(o, p)
@@ -77,6 +84,7 @@ func (e *Engine) ContainingObjects(ctx context.Context, d *Dataset, p geom.Vec3,
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	st := col.snapshot(time.Since(start))
 	st.captureCache(cacheBefore, e.cache.Stats())
+	ec.deg.fill(st)
 	return out, st, nil
 }
 
@@ -146,7 +154,12 @@ func (e *Engine) RangeQuery(ctx context.Context, d *Dataset, box geom.Box3, q Qu
 			}
 			o, err := ec.decode(d, id, lod)
 			if err != nil {
-				return nil, nil, err
+				skip, aerr := ec.degradeErr(0, d, id, err)
+				if !skip {
+					return nil, nil, aerr
+				}
+				ec.deg.uncertainID(id)
+				continue
 			}
 			col.evaluated[lod].Add(1)
 			hit := func() bool {
@@ -193,6 +206,7 @@ func (e *Engine) RangeQuery(ctx context.Context, d *Dataset, box geom.Box3, q Qu
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	st := col.snapshot(time.Since(start))
 	st.captureCache(cacheBefore, e.cache.Stats())
+	ec.deg.fill(st)
 	return out, st, nil
 }
 

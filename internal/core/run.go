@@ -1,10 +1,11 @@
 package core
 
 import (
+	"cmp"
 	"context"
 	"fmt"
 	"runtime/debug"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 
@@ -25,7 +26,13 @@ import (
 // calls finish. A panic inside fn — a bad geometry, a corrupt blob tripping
 // an unchecked path — is recovered per object and surfaces as an error for
 // this query instead of crashing the process.
-func runPerTarget(ctx context.Context, target *Dataset, workers int, fn func(w int, o *storage.Object) error) error {
+//
+// onErr, when non-nil, intercepts each per-object error (including
+// recovered panics) before it aborts the run: returning nil swallows the
+// failure and the worker continues with the next object (degraded-mode
+// execution); returning an error — the same or another — aborts as before.
+// Nil onErr preserves strict fail-fast semantics.
+func runPerTarget(ctx context.Context, target *Dataset, workers int, fn func(w int, o *storage.Object) error, onErr func(w int, o *storage.Object, err error) error) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -39,7 +46,7 @@ func runPerTarget(ctx context.Context, target *Dataset, workers int, fn func(w i
 	for c := range target.Tileset.Tiles {
 		cuboids = append(cuboids, c)
 	}
-	sort.Ints(cuboids)
+	slices.Sort(cuboids)
 
 	var (
 		wg       sync.WaitGroup
@@ -76,8 +83,13 @@ spawn:
 					return
 				}
 				if err := callRecovered(fn, w, o); err != nil {
-					fail(err)
-					return
+					if onErr != nil {
+						err = onErr(w, o, err)
+					}
+					if err != nil {
+						fail(err)
+						return
+					}
 				}
 			}
 		}(w, objs)
@@ -131,13 +143,17 @@ func (r *resultSink) sorted() []Pair {
 	for _, b := range r.buf {
 		pairs = append(pairs, b...)
 	}
-	sort.Slice(pairs, func(i, j int) bool {
-		if pairs[i].Target != pairs[j].Target {
-			return pairs[i].Target < pairs[j].Target
-		}
-		return pairs[i].Source < pairs[j].Source
-	})
+	slices.SortFunc(pairs, comparePairs)
 	return pairs
+}
+
+// comparePairs orders pairs by target then source — the deterministic
+// result order every join guarantees regardless of worker interleaving.
+func comparePairs(a, b Pair) int {
+	if c := cmp.Compare(a.Target, b.Target); c != 0 {
+		return c
+	}
+	return cmp.Compare(a.Source, b.Source)
 }
 
 // timed wraps a phase measurement.

@@ -46,6 +46,27 @@ type Stats struct {
 	// for good) at LOD l. Index len-1 is the highest LOD.
 	PairsEvaluated []int64
 	PairsPruned    []int64
+
+	// Partial-failure accounting, populated only under the Degrade error
+	// policy. The returned pairs are the certain answer (settled by the
+	// PPVP guarantees independently of any failed object); Uncertain lists
+	// the (target, source) pairs a failure left unsettled (Source -1 means
+	// an unknown candidate set of that target), and UncertainIDs the
+	// unsettled objects of single-dataset queries. Degraded lists each
+	// skipped object once with its failure.
+	Uncertain    []Pair
+	UncertainIDs []int64
+	Degraded     []ObjectError
+
+	// QuarantineSkips counts decode requests refused because the object's
+	// circuit breaker was open; DecodeRetries counts extra decode attempts
+	// made under Degrade. Both policies record quarantine activity.
+	QuarantineSkips int64
+	DecodeRetries   int64
+	// DecodeFailures is the engine cache's failed-decode delta during this
+	// query (like the warm-start counters, concurrent queries on one engine
+	// can bleed into each other's numbers).
+	DecodeFailures int64
 }
 
 // PrunedFraction returns PairsPruned[l] / PairsEvaluated[l] (0 when no
@@ -64,6 +85,7 @@ func (s *Stats) captureCache(before, after cache.Stats) {
 	s.WarmStarts = d.WarmStarts
 	s.RoundsApplied = d.RoundsApplied
 	s.RoundsSkipped = d.RoundsSkipped
+	s.DecodeFailures = d.DecodeFailures
 }
 
 // String formats the stats as a one-line summary plus the LOD table.
@@ -74,6 +96,10 @@ func (s *Stats) String() string {
 		s.DecodeTime.Round(time.Microsecond), s.GeomTime.Round(time.Microsecond),
 		s.Candidates, s.Results, s.Decodes, s.CacheHits,
 		s.WarmStarts, s.RoundsApplied, s.RoundsSkipped)
+	if len(s.Degraded) > 0 || len(s.Uncertain) > 0 || len(s.UncertainIDs) > 0 || s.QuarantineSkips > 0 {
+		fmt.Fprintf(&b, " degraded=%d uncertain=%d quarantineSkips=%d decodeRetries=%d",
+			len(s.Degraded), len(s.Uncertain)+len(s.UncertainIDs), s.QuarantineSkips, s.DecodeRetries)
+	}
 	for l := range s.PairsEvaluated {
 		if s.PairsEvaluated[l] > 0 {
 			fmt.Fprintf(&b, " lod%d=%d/%d", l, s.PairsPruned[l], s.PairsEvaluated[l])
@@ -84,15 +110,17 @@ func (s *Stats) String() string {
 
 // collector accumulates statistics from concurrent workers.
 type collector struct {
-	filterNs   atomic.Int64
-	decodeNs   atomic.Int64
-	geomNs     atomic.Int64
-	candidates atomic.Int64
-	results    atomic.Int64
-	decodes    atomic.Int64
-	cacheHits  atomic.Int64
-	evaluated  []atomic.Int64
-	pruned     []atomic.Int64
+	filterNs        atomic.Int64
+	decodeNs        atomic.Int64
+	geomNs          atomic.Int64
+	candidates      atomic.Int64
+	results         atomic.Int64
+	decodes         atomic.Int64
+	cacheHits       atomic.Int64
+	quarantineSkips atomic.Int64
+	decodeRetries   atomic.Int64
+	evaluated       []atomic.Int64
+	pruned          []atomic.Int64
 }
 
 func newCollector(maxLOD int) *collector {
@@ -104,16 +132,18 @@ func newCollector(maxLOD int) *collector {
 
 func (c *collector) snapshot(elapsed time.Duration) *Stats {
 	s := &Stats{
-		Elapsed:        elapsed,
-		FilterTime:     time.Duration(c.filterNs.Load()),
-		DecodeTime:     time.Duration(c.decodeNs.Load()),
-		GeomTime:       time.Duration(c.geomNs.Load()),
-		Candidates:     c.candidates.Load(),
-		Results:        c.results.Load(),
-		Decodes:        c.decodes.Load(),
-		CacheHits:      c.cacheHits.Load(),
-		PairsEvaluated: make([]int64, len(c.evaluated)),
-		PairsPruned:    make([]int64, len(c.pruned)),
+		Elapsed:         elapsed,
+		FilterTime:      time.Duration(c.filterNs.Load()),
+		DecodeTime:      time.Duration(c.decodeNs.Load()),
+		GeomTime:        time.Duration(c.geomNs.Load()),
+		Candidates:      c.candidates.Load(),
+		Results:         c.results.Load(),
+		Decodes:         c.decodes.Load(),
+		CacheHits:       c.cacheHits.Load(),
+		QuarantineSkips: c.quarantineSkips.Load(),
+		DecodeRetries:   c.decodeRetries.Load(),
+		PairsEvaluated:  make([]int64, len(c.evaluated)),
+		PairsPruned:     make([]int64, len(c.pruned)),
 	}
 	for i := range c.evaluated {
 		s.PairsEvaluated[i] = c.evaluated[i].Load()

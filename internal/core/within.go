@@ -74,13 +74,25 @@ func (e *Engine) WithinJoin(ctx context.Context, target, source *Dataset, dist f
 			last := li == len(lods)-1
 			to, err := ec.decode(target, o.ID, lod)
 			if err != nil {
-				return err
+				// Degrade: low-LOD acceptances (including the MBB-proven
+				// definite set) stay certain; the rest can't be settled.
+				skip, aerr := ec.degradeErr(w, target, o.ID, err)
+				if !skip {
+					return aerr
+				}
+				ec.deg.uncertainAll(w, o.ID, remaining)
+				return nil
 			}
 			next := remaining[:0]
 			for _, id := range remaining {
 				so, err := ec.decode(source, id, lod)
 				if err != nil {
-					return err
+					skip, aerr := ec.degradeErr(w, source, id, err)
+					if !skip {
+						return aerr
+					}
+					ec.deg.uncertain(w, Pair{Target: o.ID, Source: id})
+					continue
 				}
 				col.evaluated[lod].Add(1)
 				d := ec.minDist(to, so, dist*(1+1e-12))
@@ -99,12 +111,13 @@ func (e *Engine) WithinJoin(ctx context.Context, target, source *Dataset, dist f
 			remaining = next
 		}
 		return nil
-	})
+	}, ec.deg.backstop(e, target))
 	if err != nil {
 		return nil, nil, err
 	}
 	st := col.snapshot(time.Since(start))
 	st.captureCache(cacheBefore, e.cache.Stats())
+	ec.deg.fill(st)
 	return sink.sorted(), st, nil
 }
 

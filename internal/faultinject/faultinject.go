@@ -18,13 +18,23 @@
 //
 //	_3DPRO_FAULTS='ppvp.decode=sleep:50ms,core.decode=panic'
 //
-// with modes error[:msg], panic[:msg], sleep:duration, and corrupt.
+// with modes error[:msg], panic[:msg], sleep:duration, and corrupt. A mode
+// may be prefixed with modifiers: prob:P (fire with probability P per
+// opportunity, 0 < P ≤ 1) and times:N (disarm after N firings), in any
+// order:
+//
+//	_3DPRO_FAULTS='ppvp.decode=prob:0.05:error,core.decode=times:3:panic'
+//
+// Probabilistic faults draw from a package-level RNG seeded with 1; chaos
+// campaigns call Seed for reproducible runs.
 package faultinject
 
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -64,13 +74,26 @@ type Fault struct {
 	// Times bounds how often the fault fires; 0 means unlimited. The
 	// point disarms itself after the last firing.
 	Times int
+	// Prob, when in (0, 1), makes each opportunity fire with that
+	// probability (an opportunity that does not fire consumes no Times
+	// budget). 0 (or ≥ 1) fires every time.
+	Prob float64
 }
 
 var (
 	armed  atomic.Int32 // number of armed points; the fast-path gate
 	mu     sync.Mutex
 	points map[string]*state
+	rng    = rand.New(rand.NewSource(1)) // guarded by mu
 )
+
+// Seed reseeds the RNG behind probabilistic faults, making a chaos campaign
+// reproducible.
+func Seed(seed int64) {
+	mu.Lock()
+	defer mu.Unlock()
+	rng = rand.New(rand.NewSource(seed))
+}
 
 type state struct {
 	f    Fault
@@ -113,12 +136,16 @@ func Reset() {
 }
 
 // take consumes one firing of the fault at point, disarming it when its
-// Times budget runs out.
+// Times budget runs out. Probabilistic faults roll the RNG first: a roll
+// that does not fire leaves the Times budget untouched.
 func take(point string) (Fault, bool) {
 	mu.Lock()
 	defer mu.Unlock()
 	st, ok := points[point]
 	if !ok {
+		return Fault{}, false
+	}
+	if st.f.Prob > 0 && st.f.Prob < 1 && rng.Float64() >= st.f.Prob {
 		return Fault{}, false
 	}
 	if st.f.Times > 0 {
@@ -187,7 +214,8 @@ func Corrupt(point string, data []byte) []byte {
 }
 
 // Parse arms faults from a spec string: comma-separated point=mode items,
-// where mode is error[:msg], panic[:msg], sleep:duration, or corrupt.
+// where mode is error[:msg], panic[:msg], sleep:duration, or corrupt,
+// optionally prefixed by prob:P and/or times:N modifiers.
 func Parse(spec string) error {
 	for _, item := range strings.Split(spec, ",") {
 		item = strings.TrimSpace(item)
@@ -198,8 +226,39 @@ func Parse(spec string) error {
 		if !ok || point == "" {
 			return fmt.Errorf("faultinject: bad spec item %q, want point=mode", item)
 		}
-		verb, arg, _ := strings.Cut(mode, ":")
 		var f Fault
+		// Strip leading prob:/times: modifiers; what remains is the verb.
+		for {
+			verb, rest, _ := strings.Cut(mode, ":")
+			if verb != "prob" && verb != "times" {
+				break
+			}
+			val, rest2, ok := strings.Cut(rest, ":")
+			if !ok {
+				// `prob:0.5` with nothing after the value: the value is
+				// the whole rest and no verb remains.
+				val, rest2 = rest, ""
+			}
+			switch verb {
+			case "prob":
+				p, err := strconv.ParseFloat(val, 64)
+				if err != nil || p <= 0 || p > 1 {
+					return fmt.Errorf("faultinject: bad prob %q in %q, want (0,1]", val, item)
+				}
+				f.Prob = p
+			case "times":
+				n, err := strconv.Atoi(val)
+				if err != nil || n < 1 {
+					return fmt.Errorf("faultinject: bad times %q in %q, want ≥ 1", val, item)
+				}
+				f.Times = n
+			}
+			mode = rest2
+		}
+		if mode == "" {
+			return fmt.Errorf("faultinject: missing mode in %q (modifiers need a mode, e.g. prob:0.1:error)", item)
+		}
+		verb, arg, _ := strings.Cut(mode, ":")
 		switch verb {
 		case "error":
 			if arg == "" {

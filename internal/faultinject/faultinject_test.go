@@ -3,6 +3,7 @@ package faultinject
 import (
 	"bytes"
 	"errors"
+	"strings"
 	"testing"
 	"time"
 )
@@ -117,5 +118,138 @@ func TestParse(t *testing.T) {
 		if err := Parse(bad); err == nil {
 			t.Errorf("Parse(%q) accepted", bad)
 		}
+	}
+}
+
+func TestParseWhitespaceOnlyItems(t *testing.T) {
+	t.Cleanup(Reset)
+	// Whitespace-only and empty items are skipped, not errors.
+	if err := Parse("  ,\t, ,"); err != nil {
+		t.Fatalf("whitespace-only spec rejected: %v", err)
+	}
+	if Enabled() {
+		t.Fatal("whitespace-only spec armed something")
+	}
+	if err := Parse(" a=error , , b=corrupt "); err != nil {
+		t.Fatalf("spec with blank items rejected: %v", err)
+	}
+	if err := Fire("a"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("a not armed: %v", err)
+	}
+}
+
+func TestParseDuplicatePointLastWins(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Parse("p=error:first,p=error:second"); err != nil {
+		t.Fatal(err)
+	}
+	err := Fire("p")
+	if err == nil || !strings.Contains(err.Error(), "second") {
+		t.Fatalf("duplicate point did not take the last spec: %v", err)
+	}
+	// Only one armed point, not two.
+	Disarm("p")
+	if Enabled() {
+		t.Fatal("duplicate arming leaked an armed count")
+	}
+}
+
+func TestParseTimesModifier(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Parse("p=times:2:error:boom"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := Fire("p"); err == nil {
+			t.Fatalf("firing %d returned nil", i)
+		}
+	}
+	if err := Fire("p"); err != nil {
+		t.Fatalf("times:2 fault fired a third time: %v", err)
+	}
+}
+
+func TestParseProbModifier(t *testing.T) {
+	t.Cleanup(Reset)
+	Seed(42)
+	if err := Parse("p=prob:0.5:error"); err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	for i := 0; i < 1000; i++ {
+		if Fire("p") != nil {
+			fired++
+		}
+	}
+	if fired < 350 || fired > 650 {
+		t.Fatalf("prob:0.5 fired %d/1000 times", fired)
+	}
+	// Reseeding reproduces the exact sequence.
+	Seed(7)
+	var seq1 []bool
+	for i := 0; i < 50; i++ {
+		seq1 = append(seq1, Fire("p") != nil)
+	}
+	Seed(7)
+	for i, want := range seq1 {
+		if got := Fire("p") != nil; got != want {
+			t.Fatalf("firing %d not reproducible after Seed: got %v want %v", i, got, want)
+		}
+	}
+}
+
+func TestParseProbTimesCombined(t *testing.T) {
+	t.Cleanup(Reset)
+	Seed(3)
+	// Misses must not consume the times budget: exactly 2 firings happen
+	// even though the probability skips many opportunities.
+	if err := Parse("p=prob:0.2:times:2:error"); err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	for i := 0; i < 500; i++ {
+		if Fire("p") != nil {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("prob+times fired %d times, want exactly 2", fired)
+	}
+	if Enabled() {
+		t.Fatal("point still armed after times budget spent")
+	}
+}
+
+func TestParseModifierErrors(t *testing.T) {
+	t.Cleanup(Reset)
+	for _, bad := range []string{
+		"p=prob:error",      // prob value missing / not a number
+		"p=prob:0:error",    // prob out of range
+		"p=prob:1.5:error",  // prob out of range
+		"p=times:0:error",   // times < 1
+		"p=times:x:error",   // times not a number
+		"p=prob:0.5",        // modifier with no mode
+		"p=times:3",         // modifier with no mode
+		"p=prob:0.5:times:2", // two modifiers, still no mode
+	} {
+		if err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+// TestCorruptWithNonCorruptFault arms a non-corrupt fault at a point whose
+// call site uses Corrupt: the data must pass through untouched.
+func TestCorruptWithNonCorruptFault(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm("p", Fault{Err: errors.New("boom")})
+	data := []byte("pristine tile bytes")
+	if out := Corrupt("p", data); !bytes.Equal(out, data) {
+		t.Fatalf("error-mode fault corrupted data at a Corrupt point: %q", out)
+	}
+	Reset()
+	Arm("p", Fault{Delay: time.Millisecond, Times: 1})
+	if out := Corrupt("p", data); !bytes.Equal(out, data) {
+		t.Fatalf("sleep-mode fault corrupted data: %q", out)
 	}
 }

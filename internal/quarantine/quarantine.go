@@ -1,0 +1,348 @@
+// Package quarantine implements a per-object circuit breaker for the query
+// engine's partial-failure tolerance: an object whose decode keeps failing
+// (corrupt blob, geometry that panics the evaluator) is tripped open so
+// later queries skip it — with a recorded reason — instead of burning
+// retries or failing whole joins on it forever.
+//
+// The lifecycle mirrors a classic circuit breaker:
+//
+//	Closed    healthy; failures accumulate toward Threshold
+//	Open      quarantined; Allow reports false until Cooldown elapses
+//	HalfOpen  probation; exactly one caller is let through as a probe —
+//	          success closes the breaker, failure re-opens it
+//
+// The registry is engine-wide and safe for concurrent use. The untracked
+// fast path (no object has ever failed) is a single atomic load, so healthy
+// workloads pay nothing.
+package quarantine
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Key identifies one object of one dataset (by the engine's dataset
+// sequence number, which also namespaces decode-cache keys).
+type Key struct {
+	Dataset int64
+	Object  int64
+}
+
+// State is the breaker state of one object.
+type State int
+
+const (
+	Closed State = iota
+	Open
+	HalfOpen
+)
+
+func (s State) String() string {
+	switch s {
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// Options tunes the breaker.
+type Options struct {
+	// Threshold is the failure count that trips an object open
+	// (default 3). Failures reset on any success.
+	Threshold int
+	// Cooldown is how long an open object stays fully blocked before a
+	// half-open probe is allowed (default 30s).
+	Cooldown time.Duration
+	// Now overrides the clock (tests); nil means time.Now.
+	Now func() time.Time
+}
+
+func (o *Options) setDefaults() {
+	if o.Threshold <= 0 {
+		o.Threshold = 3
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = 30 * time.Second
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+}
+
+// Entry is a snapshot of one tracked object.
+type Entry struct {
+	Key         Key       `json:"-"`
+	Dataset     int64     `json:"dataset_seq"`
+	Object      int64     `json:"object"`
+	State       string    `json:"state"`
+	Failures    int       `json:"failures"`
+	Reason      string    `json:"reason,omitempty"`
+	TrippedAt   time.Time `json:"tripped_at,omitempty"`
+	LastFailure time.Time `json:"last_failure,omitempty"`
+}
+
+// Stats aggregates registry counters.
+type Stats struct {
+	// Open and HalfOpen count objects currently in those states.
+	Open     int `json:"open"`
+	HalfOpen int `json:"half_open"`
+	// Tracked counts all objects with breaker records (including closed
+	// ones that have failed but not tripped).
+	Tracked int `json:"tracked"`
+	// Failures counts every recorded failure; Trips every closed→open
+	// transition; Probes every half-open admission; Reinstated every
+	// successful probe that closed the breaker again.
+	Failures   int64 `json:"failures"`
+	Trips      int64 `json:"trips"`
+	Probes     int64 `json:"probes"`
+	Reinstated int64 `json:"reinstated"`
+	// Skips counts Allow calls rejected because the object was open.
+	Skips int64 `json:"skips"`
+}
+
+type object struct {
+	state       State
+	failures    int
+	reason      string
+	trippedAt   time.Time
+	lastFailure time.Time
+	probing     bool // a half-open probe is in flight
+}
+
+// Registry is the engine-wide breaker table.
+type Registry struct {
+	opts Options
+
+	// tracked is the fast-path gate: zero means no object has ever
+	// failed, so Allow/Success return without locking.
+	tracked atomic.Int64
+
+	mu   sync.Mutex
+	objs map[Key]*object
+
+	failures   int64
+	trips      int64
+	probes     int64
+	reinstated int64
+	skips      atomic.Int64
+}
+
+// New returns a registry with the given options.
+func New(opts Options) *Registry {
+	opts.setDefaults()
+	return &Registry{opts: opts, objs: make(map[Key]*object)}
+}
+
+// Allow reports whether the object may be processed. Open objects are
+// blocked until their cooldown elapses, at which point exactly one caller
+// is admitted as a half-open probe; a Success or Failure from that probe
+// settles the breaker.
+func (r *Registry) Allow(k Key) bool {
+	if r.tracked.Load() == 0 {
+		return true
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	o, ok := r.objs[k]
+	if !ok || o.state == Closed {
+		return true
+	}
+	now := r.opts.Now()
+	if o.state == Open && now.Sub(o.trippedAt) >= r.opts.Cooldown {
+		o.state = HalfOpen
+		o.probing = false
+	}
+	if o.state == HalfOpen && !o.probing {
+		o.probing = true
+		r.probes++
+		return true
+	}
+	r.skips.Add(1)
+	return false
+}
+
+// Failure records one failure of the object, tripping it open when the
+// threshold is reached (or immediately when it was half-open). It returns
+// true when this call transitioned the object to Open.
+func (r *Registry) Failure(k Key, reason string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	o, ok := r.objs[k]
+	if !ok {
+		o = &object{}
+		r.objs[k] = o
+		r.tracked.Add(1)
+	}
+	r.failures++
+	o.failures++
+	o.lastFailure = r.opts.Now()
+	if o.reason == "" || o.state != Open {
+		o.reason = reason
+	}
+	switch o.state {
+	case HalfOpen:
+		// Failed probe: straight back to open, cooldown restarts.
+		o.state = Open
+		o.probing = false
+		o.trippedAt = o.lastFailure
+		r.trips++
+		return true
+	case Closed:
+		if o.failures >= r.opts.Threshold {
+			o.state = Open
+			o.trippedAt = o.lastFailure
+			r.trips++
+			return true
+		}
+	}
+	return false
+}
+
+// Trip quarantines the object immediately (used for objects dropped during
+// salvage loading, where the damage is already proven).
+func (r *Registry) Trip(k Key, reason string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	o, ok := r.objs[k]
+	if !ok {
+		o = &object{}
+		r.objs[k] = o
+		r.tracked.Add(1)
+	}
+	if o.state != Open {
+		r.trips++
+	}
+	o.state = Open
+	o.probing = false
+	o.failures = max(o.failures, r.opts.Threshold)
+	o.reason = reason
+	o.trippedAt = r.opts.Now()
+	o.lastFailure = o.trippedAt
+}
+
+// Success records a healthy interaction: a successful half-open probe
+// closes the breaker; a success on a closed object resets its failure
+// count. Untracked objects return on the atomic fast path.
+func (r *Registry) Success(k Key) {
+	if r.tracked.Load() == 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	o, ok := r.objs[k]
+	if !ok {
+		return
+	}
+	switch o.state {
+	case HalfOpen:
+		r.reinstated++
+		fallthrough
+	case Closed:
+		// Fully healthy again: forget the record so the fast path can
+		// recover once every tracked object heals.
+		delete(r.objs, k)
+		r.tracked.Add(-1)
+	case Open:
+		// A success while open can only come from a caller that was
+		// admitted before the trip; the breaker stays open.
+	}
+}
+
+// Release cancels an in-flight half-open probe without a verdict (the
+// caller was interrupted — query cancelled — before the object could prove
+// or disprove itself). The next Allow re-admits a probe. No-op for objects
+// in any other state.
+func (r *Registry) Release(k Key) {
+	if r.tracked.Load() == 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if o, ok := r.objs[k]; ok && o.state == HalfOpen {
+		o.probing = false
+	}
+}
+
+// Quarantined reports whether the object is currently open or half-open.
+func (r *Registry) Quarantined(k Key) bool {
+	if r.tracked.Load() == 0 {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	o, ok := r.objs[k]
+	return ok && o.state != Closed
+}
+
+// Len returns the number of objects currently open or half-open.
+func (r *Registry) Len() int {
+	if r.tracked.Load() == 0 {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, o := range r.objs {
+		if o.state != Closed {
+			n++
+		}
+	}
+	return n
+}
+
+// Snapshot returns every tracked object, ordered by (dataset, object).
+func (r *Registry) Snapshot() []Entry {
+	r.mu.Lock()
+	out := make([]Entry, 0, len(r.objs))
+	for k, o := range r.objs {
+		out = append(out, Entry{
+			Key: k, Dataset: k.Dataset, Object: k.Object,
+			State: o.state.String(), Failures: o.failures, Reason: o.reason,
+			TrippedAt: o.trippedAt, LastFailure: o.lastFailure,
+		})
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key.Dataset != out[j].Key.Dataset {
+			return out[i].Key.Dataset < out[j].Key.Dataset
+		}
+		return out[i].Key.Object < out[j].Key.Object
+	})
+	return out
+}
+
+// Stats returns a snapshot of the counters.
+func (r *Registry) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := Stats{
+		Tracked:  len(r.objs),
+		Failures: r.failures, Trips: r.trips,
+		Probes: r.probes, Reinstated: r.reinstated,
+		Skips: r.skips.Load(),
+	}
+	for _, o := range r.objs {
+		switch o.state {
+		case Open:
+			st.Open++
+		case HalfOpen:
+			st.HalfOpen++
+		}
+	}
+	return st
+}
+
+// Reset forgets every tracked object (counters included).
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tracked.Store(0)
+	r.objs = make(map[Key]*object)
+	r.failures, r.trips, r.probes, r.reinstated = 0, 0, 0, 0
+	r.skips.Store(0)
+}

@@ -1,0 +1,206 @@
+package quarantine
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// clock is a controllable time source.
+type clock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *clock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *clock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestRegistry(threshold int, cooldown time.Duration) (*Registry, *clock) {
+	c := &clock{t: time.Unix(1000, 0)}
+	return New(Options{Threshold: threshold, Cooldown: cooldown, Now: c.now}), c
+}
+
+func TestHealthyFastPath(t *testing.T) {
+	r, _ := newTestRegistry(3, time.Minute)
+	k := Key{Dataset: 1, Object: 7}
+	if !r.Allow(k) {
+		t.Fatal("untracked object blocked")
+	}
+	r.Success(k) // no-op, must not create a record
+	if st := r.Stats(); st.Tracked != 0 {
+		t.Fatalf("tracked = %d after healthy traffic", st.Tracked)
+	}
+}
+
+func TestTripAfterThreshold(t *testing.T) {
+	r, _ := newTestRegistry(3, time.Minute)
+	k := Key{Dataset: 1, Object: 7}
+	for i := 0; i < 2; i++ {
+		if tripped := r.Failure(k, "decode error"); tripped {
+			t.Fatalf("tripped after %d failures", i+1)
+		}
+		if !r.Allow(k) {
+			t.Fatalf("blocked before threshold (failure %d)", i+1)
+		}
+	}
+	if !r.Failure(k, "decode error #3") {
+		t.Fatal("third failure did not trip")
+	}
+	if r.Allow(k) {
+		t.Fatal("open object allowed")
+	}
+	if !r.Quarantined(k) {
+		t.Fatal("Quarantined false for open object")
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].State != "open" || snap[0].Reason != "decode error #3" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestSuccessResetsFailures(t *testing.T) {
+	r, _ := newTestRegistry(3, time.Minute)
+	k := Key{Dataset: 1, Object: 7}
+	r.Failure(k, "transient")
+	r.Failure(k, "transient")
+	r.Success(k) // resets the count and forgets the record
+	if st := r.Stats(); st.Tracked != 0 {
+		t.Fatalf("tracked = %d after success", st.Tracked)
+	}
+	r.Failure(k, "x")
+	r.Failure(k, "x")
+	if r.Quarantined(k) {
+		t.Fatal("tripped despite intervening success")
+	}
+}
+
+func TestHalfOpenProbation(t *testing.T) {
+	r, c := newTestRegistry(1, time.Minute)
+	k := Key{Dataset: 2, Object: 3}
+	r.Failure(k, "bad blob")
+	if r.Allow(k) {
+		t.Fatal("open object allowed before cooldown")
+	}
+	c.advance(61 * time.Second)
+	// First caller after cooldown gets the probe; concurrent second caller
+	// is still blocked.
+	if !r.Allow(k) {
+		t.Fatal("probe not admitted after cooldown")
+	}
+	if r.Allow(k) {
+		t.Fatal("second caller admitted during probe")
+	}
+	// Successful probe reinstates the object fully.
+	r.Success(k)
+	if !r.Allow(k) || r.Quarantined(k) {
+		t.Fatal("object not reinstated after successful probe")
+	}
+	if st := r.Stats(); st.Reinstated != 1 || st.Probes != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFailedProbeReopens(t *testing.T) {
+	r, c := newTestRegistry(1, time.Minute)
+	k := Key{Dataset: 2, Object: 3}
+	r.Failure(k, "bad blob")
+	c.advance(61 * time.Second)
+	if !r.Allow(k) {
+		t.Fatal("probe not admitted")
+	}
+	r.Failure(k, "still bad")
+	if r.Allow(k) {
+		t.Fatal("allowed right after failed probe")
+	}
+	// The cooldown restarted at the failed probe.
+	c.advance(30 * time.Second)
+	if r.Allow(k) {
+		t.Fatal("allowed mid-cooldown after failed probe")
+	}
+	c.advance(31 * time.Second)
+	if !r.Allow(k) {
+		t.Fatal("second probe not admitted")
+	}
+}
+
+func TestTripDirect(t *testing.T) {
+	r, _ := newTestRegistry(5, time.Minute)
+	k := Key{Dataset: 1, Object: 9}
+	r.Trip(k, "dropped during salvage")
+	if r.Allow(k) {
+		t.Fatal("tripped object allowed")
+	}
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].Reason != "dropped during salvage" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if st := r.Stats(); st.Trips != 1 || st.Open != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSkipCounter(t *testing.T) {
+	r, _ := newTestRegistry(1, time.Minute)
+	k := Key{Dataset: 1, Object: 1}
+	r.Failure(k, "x")
+	for i := 0; i < 4; i++ {
+		r.Allow(k)
+	}
+	if st := r.Stats(); st.Skips != 4 {
+		t.Fatalf("skips = %d, want 4", st.Skips)
+	}
+}
+
+func TestReset(t *testing.T) {
+	r, _ := newTestRegistry(1, time.Minute)
+	r.Failure(Key{1, 1}, "x")
+	r.Reset()
+	if r.Len() != 0 || !r.Allow(Key{1, 1}) {
+		t.Fatal("reset did not clear state")
+	}
+	if st := r.Stats(); st != (Stats{}) {
+		t.Fatalf("counters survive reset: %+v", st)
+	}
+}
+
+// TestConcurrentAccess hammers one key from many goroutines under -race.
+func TestConcurrentAccess(t *testing.T) {
+	r, c := newTestRegistry(3, time.Millisecond)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			k := Key{Dataset: int64(g % 2), Object: int64(g % 3)}
+			for i := 0; i < 500; i++ {
+				if r.Allow(k) {
+					if i%3 == 0 {
+						r.Failure(k, "f")
+					} else {
+						r.Success(k)
+					}
+				}
+				if i%50 == 0 {
+					c.advance(time.Millisecond)
+				}
+				r.Quarantined(k)
+				r.Len()
+			}
+		}(g)
+	}
+	wg.Wait()
+	r.Snapshot()
+	r.Stats()
+}

@@ -8,7 +8,10 @@ import (
 	"net/http"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"time"
+
+	"repro/internal/quarantine"
 )
 
 // Config tunes the production-hardening layer of the server. The zero value
@@ -60,7 +63,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleReadyz reports whether the server should receive traffic: it is not
-// shutting down and has at least one dataset loaded.
+// shutting down and has at least one dataset loaded. A non-empty quarantine
+// keeps the server in rotation (degraded beats dead — Degrade-policy queries
+// still answer with certain results) but the body says so, so operators and
+// probes that scrape the text can tell the states apart.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	loaded := len(s.datasets)
@@ -75,8 +81,61 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "no datasets loaded")
 	default:
 		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ready")
+		if n := s.eng.Quarantine().Len(); n > 0 {
+			fmt.Fprintf(w, "degraded: %d objects quarantined\n", n)
+		} else {
+			fmt.Fprintln(w, "ready")
+		}
 	}
+}
+
+// handleStatusz is the operator inspection endpoint: engine cache counters,
+// the quarantine registry's aggregate stats and per-object entries (with
+// dataset sequence numbers resolved back to names where possible), and the
+// admission-control load.
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	seqNames := make(map[int64]string, len(s.datasets))
+	names := make([]string, 0, len(s.datasets))
+	for name, d := range s.datasets {
+		seqNames[d.Seq()] = name
+		names = append(names, name)
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+
+	type quarEntry struct {
+		quarantine.Entry
+		DatasetName string `json:"dataset,omitempty"`
+	}
+	snap := s.eng.Quarantine().Snapshot()
+	entries := make([]quarEntry, len(snap))
+	for i, e := range snap {
+		entries[i] = quarEntry{Entry: e, DatasetName: seqNames[e.Dataset]}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Dataset != entries[j].Dataset {
+			return entries[i].Dataset < entries[j].Dataset
+		}
+		return entries[i].Object < entries[j].Object
+	})
+
+	cs := s.eng.Cache().Stats()
+	s.writeJSON(w, map[string]any{
+		"ready":    s.ready.Load(),
+		"datasets": names,
+		"inflight": map[string]int{"used": len(s.inflight), "max": s.cfg.MaxInFlight},
+		"cache": map[string]int64{
+			"hits": cs.Hits, "misses": cs.Misses, "evictions": cs.Evictions,
+			"bytes_used": cs.BytesUsed, "warm_starts": cs.WarmStarts,
+			"rounds_applied": cs.RoundsApplied, "rounds_skipped": cs.RoundsSkipped,
+			"decode_failures": cs.DecodeFailures,
+		},
+		"quarantine": map[string]any{
+			"stats":   s.eng.Quarantine().Stats(),
+			"entries": entries,
+		},
+	})
 }
 
 // recoverPanics converts a handler panic into a 500 and a stack-trace log

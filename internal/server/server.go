@@ -85,6 +85,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /statusz", s.handleStatusz)
 	mux.HandleFunc("GET /datasets", s.handleListDatasets)
 	mux.HandleFunc("GET /datasets/{name}", s.handleDataset)
 	mux.HandleFunc("GET /datasets/{name}/objects/{id}", s.handleObject)
@@ -296,6 +297,12 @@ type queryRequest struct {
 	Point    [3]float64 `json:"point"`
 	Min      [3]float64 `json:"min"`
 	Max      [3]float64 `json:"max"`
+	// OnError selects the partial-failure policy: "fail_fast" (default)
+	// aborts on the first object failure, "degrade" skips failing objects
+	// and reports them in the stats. ErrorBudget bounds the distinct failed
+	// objects a degrade query tolerates (0 = engine default, -1 = unlimited).
+	OnError     string `json:"on_error"`
+	ErrorBudget int    `json:"error_budget"`
 }
 
 func (s *Server) parseJoin(r *http.Request) (*core.Dataset, *core.Dataset, core.QueryOptions, queryRequest, error) {
@@ -339,6 +346,14 @@ func options(req queryRequest) (core.QueryOptions, error) {
 	default:
 		return q, badRequest("unknown accel %q", req.Accel)
 	}
+	switch req.OnError {
+	case "", "fail_fast":
+	case "degrade":
+		q.OnError = core.Degrade
+	default:
+		return q, badRequest("unknown on_error %q (want fail_fast or degrade)", req.OnError)
+	}
+	q.ErrorBudget = req.ErrorBudget
 	return q, nil
 }
 
@@ -360,6 +375,16 @@ type statsJSON struct {
 	RoundsSkipped int64   `json:"rounds_skipped"`
 	Evaluated     []int64 `json:"pairs_evaluated_per_lod"`
 	Pruned        []int64 `json:"pairs_pruned_per_lod"`
+	// Partial-failure accounting (degrade policy). The response's pairs are
+	// the certain answer; uncertain lists relations a failure left
+	// unsettled (source -1 = unknown candidate set of that target) and
+	// degraded the skipped objects with their failures.
+	Uncertain       []core.Pair        `json:"uncertain,omitempty"`
+	UncertainIDs    []int64            `json:"uncertain_ids,omitempty"`
+	Degraded        []core.ObjectError `json:"degraded,omitempty"`
+	QuarantineSkips int64              `json:"quarantine_skips,omitempty"`
+	DecodeRetries   int64              `json:"decode_retries,omitempty"`
+	DecodeFailures  int64              `json:"decode_failures,omitempty"`
 }
 
 func statsOut(st *core.Stats) statsJSON {
@@ -372,11 +397,17 @@ func statsOut(st *core.Stats) statsJSON {
 		Results:       st.Results,
 		Decodes:       st.Decodes,
 		CacheHits:     st.CacheHits,
-		WarmStarts:    st.WarmStarts,
-		RoundsApplied: st.RoundsApplied,
-		RoundsSkipped: st.RoundsSkipped,
-		Evaluated:     st.PairsEvaluated,
-		Pruned:        st.PairsPruned,
+		WarmStarts:      st.WarmStarts,
+		RoundsApplied:   st.RoundsApplied,
+		RoundsSkipped:   st.RoundsSkipped,
+		Evaluated:       st.PairsEvaluated,
+		Pruned:          st.PairsPruned,
+		Uncertain:       st.Uncertain,
+		UncertainIDs:    st.UncertainIDs,
+		Degraded:        st.Degraded,
+		QuarantineSkips: st.QuarantineSkips,
+		DecodeRetries:   st.DecodeRetries,
+		DecodeFailures:  st.DecodeFailures,
 	}
 }
 

@@ -31,9 +31,11 @@ func FuzzDecodeTile(f *testing.F) {
 	f.Add([]byte("TILE"))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
+		// The salvage walk must never panic either, whatever the bytes.
+		salvaged, _, _ := salvageTile(data)
 		objs, err := parseTile(data)
 		if err != nil {
-			return
+			objs = salvaged
 		}
 		for _, o := range objs {
 			d, err := o.Comp.NewDecoder()

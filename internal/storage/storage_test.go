@@ -1,6 +1,9 @@
 package storage
 
 import (
+	"encoding/binary"
+	"hash/crc32"
+	"math"
 	"os"
 	"path/filepath"
 	"testing"
@@ -174,6 +177,44 @@ func TestLoadTilesEmptyDir(t *testing.T) {
 	}
 }
 
+func TestNonFiniteCoordinatesClampToCuboidZero(t *testing.T) {
+	space := geom.Box3{Min: geom.V(0, 0, 0), Max: geom.V(100, 100, 100)}
+	g := NewGrid(space, 27)
+	nan := math.NaN()
+	for _, p := range []geom.Vec3{
+		{X: nan, Y: nan, Z: nan},
+		{X: nan, Y: 50, Z: 50},
+		{X: math.Inf(-1), Y: 50, Z: 50},
+	} {
+		if i := g.CuboidOf(p); i < 0 || i >= g.NumCuboids() {
+			t.Errorf("CuboidOf(%v) = %d out of range", p, i)
+		}
+	}
+	// A fully-NaN point lands in cuboid 0, not an arbitrary index.
+	if i := g.CuboidOf(geom.V(nan, nan, nan)); i != 0 {
+		t.Errorf("CuboidOf(NaN) = %d, want 0", i)
+	}
+	if i := g.CuboidOf(geom.V(math.Inf(1), math.Inf(1), math.Inf(1))); i != g.NumCuboids()-1 {
+		t.Errorf("CuboidOf(+Inf) = %d, want last cuboid", i)
+	}
+}
+
+func TestNewGridNonFiniteSpace(t *testing.T) {
+	nan := math.NaN()
+	for _, space := range []geom.Box3{
+		{Min: geom.V(nan, 0, 0), Max: geom.V(10, 10, 10)},
+		{Min: geom.V(0, 0, 0), Max: geom.V(math.Inf(1), 10, 10)},
+	} {
+		g := NewGrid(space, 64)
+		if g.NumCuboids() < 1 || g.NumCuboids() > 1<<21 {
+			t.Errorf("NewGrid(%v) cuboids = %d", space, g.NumCuboids())
+		}
+		if i := g.CuboidOf(geom.V(1, 2, 3)); i < 0 || i >= g.NumCuboids() {
+			t.Errorf("CuboidOf on non-finite grid = %d", i)
+		}
+	}
+}
+
 func TestTileChecksumDetectsBitrot(t *testing.T) {
 	dir := t.TempDir()
 	space := geom.Box3{Min: geom.V(0, 0, 0), Max: geom.V(10, 10, 10)}
@@ -203,5 +244,198 @@ func TestTileChecksumDetectsBitrot(t *testing.T) {
 	}
 	if _, err := LoadTiles(dir, grid); err == nil {
 		t.Error("bit-rotted tile accepted")
+	}
+}
+
+// saveTileset builds n icospheres along a line and saves them as tiles.
+func saveTileset(t *testing.T, dir string, grid Grid, n int) *Tileset {
+	t.Helper()
+	var comps []*ppvp.Compressed
+	for i := 0; i < n; i++ {
+		m := mesh.Icosphere(1.5, 1)
+		m.Translate(geom.V(float64(i)*6+3, 5, 5))
+		comps = append(comps, compress(t, m))
+	}
+	ts := NewTileset(grid, comps)
+	if err := ts.SaveTiles(dir); err != nil {
+		t.Fatalf("SaveTiles: %v", err)
+	}
+	return ts
+}
+
+func TestSaveTilesLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	space := geom.Box3{Min: geom.V(0, 0, 0), Max: geom.V(40, 10, 10)}
+	saveTileset(t, dir, NewGrid(space, 4), 6)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if ok, _ := filepath.Match("tile-*.bin", e.Name()); !ok {
+			t.Errorf("stray file after SaveTiles: %s", e.Name())
+		}
+	}
+}
+
+func TestLoadTilesIgnoresPartialTemp(t *testing.T) {
+	dir := t.TempDir()
+	space := geom.Box3{Min: geom.V(0, 0, 0), Max: geom.V(40, 10, 10)}
+	grid := NewGrid(space, 4)
+	ts := saveTileset(t, dir, grid, 6)
+	// Simulate a crash mid-write: a half-written temp file left behind.
+	tmp := filepath.Join(dir, "tile-000001.bin.tmp-1234")
+	if err := os.WriteFile(tmp, []byte("half a tile"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTiles(dir, grid)
+	if err != nil {
+		t.Fatalf("LoadTiles with stray temp: %v", err)
+	}
+	if len(got.Objects) != len(ts.Objects) {
+		t.Fatalf("loaded %d objects, want %d", len(got.Objects), len(ts.Objects))
+	}
+}
+
+func TestAtomicWriteFileReplaces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.bin")
+	if err := AtomicWriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := AtomicWriteFile(path, []byte("new content"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "new content" {
+		t.Fatalf("content = %q", data)
+	}
+}
+
+// encodeTileV1 writes the legacy v1 layout (no per-record CRCs).
+func encodeTileV1(objs []*Object) []byte {
+	var buf []byte
+	buf = append(buf, tileMagic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(objs)))
+	for _, o := range objs {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(o.ID))
+		blob := o.Comp.Bytes()
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(blob)))
+		buf = append(buf, blob...)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	return buf
+}
+
+func TestV1TilesStillReadable(t *testing.T) {
+	dir := t.TempDir()
+	space := geom.Box3{Min: geom.V(0, 0, 0), Max: geom.V(10, 10, 10)}
+	grid := NewGrid(space, 1)
+	m := mesh.Icosphere(2, 1)
+	m.Translate(geom.V(5, 5, 5))
+	ts := NewTileset(grid, []*ppvp.Compressed{compress(t, m)})
+	v1 := encodeTileV1(ts.Tiles[ts.Objects[0].Cuboid])
+	if err := os.WriteFile(filepath.Join(dir, "tile-000000.bin"), v1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTiles(dir, grid)
+	if err != nil {
+		t.Fatalf("v1 tile rejected: %v", err)
+	}
+	if len(got.Objects) != 1 || got.Objects[0].MBB() != ts.Objects[0].MBB() {
+		t.Fatal("v1 round-trip mismatch")
+	}
+	// Salvage mode reads v1 too (all-or-nothing).
+	sts, rep, err := LoadTilesSalvage(dir, grid)
+	if err != nil || !rep.Clean() || len(sts.Objects) != 1 {
+		t.Fatalf("v1 salvage: err=%v report=%+v", err, rep)
+	}
+	// A damaged v1 tile is skipped wholesale: no per-record CRCs to trust.
+	v1[len(v1)/2] ^= 0x40
+	if err := os.WriteFile(filepath.Join(dir, "tile-000000.bin"), v1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sts, rep, err = LoadTilesSalvage(dir, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.TilesSkipped) != 1 || len(sts.Objects) != 0 {
+		t.Fatalf("damaged v1: report=%+v objects=%d", rep, len(sts.Objects))
+	}
+}
+
+func TestSalvageKeepsUndamagedObjects(t *testing.T) {
+	dir := t.TempDir()
+	space := geom.Box3{Min: geom.V(0, 0, 0), Max: geom.V(20, 20, 20)}
+	grid := NewGrid(space, 1) // single tile holds all objects
+	saveTileset(t, dir, grid, 3)
+	paths, _ := filepath.Glob(filepath.Join(dir, "tile-*.bin"))
+	if len(paths) != 1 {
+		t.Fatalf("tiles = %d", len(paths))
+	}
+	data, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Damage the blob of the first record (offset 8 = header, 12 = record
+	// header, +10 lands inside the blob). Its CRC fails; later records are
+	// intact.
+	data[8+12+10] ^= 0xFF
+	if err := os.WriteFile(paths[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := LoadTiles(dir, grid); err == nil {
+		t.Fatal("strict load accepted damaged tile")
+	}
+
+	ts, rep, err := LoadTilesSalvage(dir, grid)
+	if err != nil {
+		t.Fatalf("salvage: %v", err)
+	}
+	if rep.ObjectsLoaded != 2 || rep.TilesLoaded != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if len(rep.ObjectsDropped) != 1 || rep.ObjectsDropped[0].ID != 0 ||
+		rep.ObjectsDropped[0].Reason != "record checksum mismatch" {
+		t.Fatalf("drops = %+v", rep.ObjectsDropped)
+	}
+	// Sparse IDs tolerated: slot 0 is a nil hole, 1 and 2 survive.
+	if len(ts.Objects) != 3 || ts.Object(0) != nil {
+		t.Fatalf("objects = %d, slot0 = %v", len(ts.Objects), ts.Object(0))
+	}
+	for id := int64(1); id <= 2; id++ {
+		o := ts.Object(id)
+		if o == nil || o.ID != id {
+			t.Fatalf("object %d not salvaged", id)
+		}
+		if _, err := o.Comp.Decode(0); err != nil {
+			t.Fatalf("salvaged object %d does not decode: %v", id, err)
+		}
+	}
+	if ts.CompressedBytes() <= 0 {
+		t.Error("CompressedBytes with nil holes")
+	}
+}
+
+func TestSalvageSkipsUnreadableTile(t *testing.T) {
+	dir := t.TempDir()
+	space := geom.Box3{Min: geom.V(0, 0, 0), Max: geom.V(40, 10, 10)}
+	grid := NewGrid(space, 4)
+	ts := saveTileset(t, dir, grid, 6)
+	if err := os.WriteFile(filepath.Join(dir, "tile-999999.bin"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, rep, err := LoadTilesSalvage(dir, grid)
+	if err != nil {
+		t.Fatalf("salvage: %v", err)
+	}
+	if len(rep.TilesSkipped) != 1 || rep.ObjectsLoaded != len(ts.Objects) {
+		t.Fatalf("report = %+v", rep)
+	}
+	if len(got.Objects) != len(ts.Objects) {
+		t.Fatalf("loaded %d objects, want %d", len(got.Objects), len(ts.Objects))
 	}
 }
