@@ -10,7 +10,11 @@
 // (-query-timeout), admission control (-max-inflight), request body limits
 // (-max-body-bytes), /healthz, /readyz, and /statusz probes, per-request
 // panic isolation, and graceful draining on SIGINT/SIGTERM
-// (-shutdown-grace). -salvage loads damaged dataset directories in salvage
+// (-shutdown-grace). Observability: /metrics serves Prometheus text,
+// /debug/queries the recent-query ring, -pprof mounts the profiling
+// endpoints (do not expose them to untrusted clients), and -log-format
+// selects text or json structured access logs.
+// -salvage loads damaged dataset directories in salvage
 // mode (undamaged objects survive, the rest are quarantined);
 // -quarantine-threshold and -quarantine-cooldown tune the per-object
 // circuit breaker. Fault injection for resilience testing is available via
@@ -24,6 +28,7 @@ import (
 	"context"
 	"flag"
 	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -54,8 +59,20 @@ func main() {
 	salvage := flag.Bool("salvage", false, "load -dataset directories in salvage mode: skip and quarantine damaged objects instead of refusing the dataset")
 	quarThreshold := flag.Int("quarantine-threshold", 0, "decode failures before an object is quarantined (default 3)")
 	quarCooldown := flag.Duration("quarantine-cooldown", 0, "how long a quarantined object stays blocked before a probe is admitted (default 30s)")
+	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (exposes memory contents; keep off on untrusted networks)")
+	logFormat := flag.String("log-format", "text", "structured access-log format: text or json")
 	flag.Var(&datasets, "dataset", "name=dir of a persisted dataset (repeatable)")
 	flag.Parse()
+
+	var slogger *slog.Logger
+	switch *logFormat {
+	case "text":
+		slogger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "json":
+		slogger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	default:
+		log.Fatalf("bad -log-format %q, want text or json", *logFormat)
+	}
 
 	if *faults != "" {
 		if err := faultinject.Parse(*faults); err != nil {
@@ -68,6 +85,8 @@ func main() {
 		MaxInFlight:   *maxInFlight,
 		MaxBodyBytes:  *maxBodyBytes,
 		ShutdownGrace: *shutdownGrace,
+		Slog:          slogger,
+		EnablePprof:   *enablePprof,
 	}
 	if *queryTimeout == 0 {
 		cfg.QueryTimeout = -1 // flag 0 = disabled; Config 0 = default

@@ -20,3 +20,11 @@ func handleDetached(w http.ResponseWriter, r *http.Request) {
 	_ = ctx
 	_ = r
 }
+
+// middlewareValue decorates the request context (the request-ID middleware
+// pattern): deriving via WithValue from r.Context() is no finding.
+func middlewareValue(w http.ResponseWriter, r *http.Request) {
+	type key struct{}
+	r = r.WithContext(context.WithValue(r.Context(), key{}, "id"))
+	_ = r
+}

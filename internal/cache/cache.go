@@ -31,6 +31,7 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/mesh"
 	"repro/internal/ppvp"
@@ -65,6 +66,23 @@ type Stats struct {
 	// counts again — a growing value under steady load is the cache-level
 	// symptom of corrupt or hostile blobs.
 	DecodeFailures int64
+}
+
+// Counters is a per-request attribution sink: a caller that owns a unit of
+// work spanning many cache calls (one query) passes the same *Counters into
+// each GetOrDecodeProgressiveCounted call, and the cache increments it at
+// exactly the points it increments its own shard counters. Summing every
+// concurrent caller's Counters therefore reproduces the cache-wide Stats
+// delta exactly — no global-snapshot diffing, no bleed between concurrent
+// callers. All fields are atomics; a Counters value is safe for the many
+// workers of one query to share.
+type Counters struct {
+	Hits           atomic.Int64
+	Misses         atomic.Int64
+	WarmStarts     atomic.Int64
+	RoundsApplied  atomic.Int64
+	RoundsSkipped  atomic.Int64
+	DecodeFailures atomic.Int64
 }
 
 func (s Stats) add(o Stats) Stats {
@@ -298,46 +316,64 @@ func (c *Cache) GetOrDecode(key Key, decode func() (*mesh.Mesh, error)) (*mesh.M
 	return m, err
 }
 
-// GetOrDecodeProgressive returns the cached mesh for key, decoding through
-// the per-object progressive decoder pool on a miss: if a retained decoder
-// for key.Object sits at a LOD ≤ key.LOD, decoding resumes from its state
-// (a warm start) instead of replaying every round from LOD 0. onMiss, when
-// non-nil, runs once before any decode work — the caller's hook for fault
-// injection and decode accounting; a non-nil error from it fails the
+// GetOrDecodeProgressive is GetOrDecodeProgressiveCounted without a
+// per-request counter sink.
+func (c *Cache) GetOrDecodeProgressive(key Key, comp *ppvp.Compressed, onMiss func() error) (*mesh.Mesh, error) {
+	return c.GetOrDecodeProgressiveCounted(key, comp, onMiss, nil)
+}
+
+// GetOrDecodeProgressiveCounted returns the cached mesh for key, decoding
+// through the per-object progressive decoder pool on a miss: if a retained
+// decoder for key.Object sits at a LOD ≤ key.LOD, decoding resumes from its
+// state (a warm start) instead of replaying every round from LOD 0. onMiss,
+// when non-nil, runs once before any decode work — the caller's hook for
+// fault injection and decode accounting; a non-nil error from it fails the
 // request without touching the decoder pool.
+//
+// req, when non-nil, receives per-request attribution: every counter the
+// call moves on the shard is also added to req, so a caller owning several
+// concurrent cache calls (one query) gets exact numbers even while other
+// callers hammer the same cache. The decode work of a shared in-flight
+// entry is attributed to the caller that performs it; waiters record a hit.
 //
 // Concurrent misses for different LODs of one object serialize on the
 // object's decoder slot; concurrent callers of the same key share a single
 // decode exactly as GetOrDecode does.
-func (c *Cache) GetOrDecodeProgressive(key Key, comp *ppvp.Compressed, onMiss func() error) (*mesh.Mesh, error) {
+func (c *Cache) GetOrDecodeProgressiveCounted(key Key, comp *ppvp.Compressed, onMiss func() error, req *Counters) (*mesh.Mesh, error) {
 	s := c.shardFor(key.Object)
 	if s.capacity <= 0 {
 		s.mu.Lock()
 		s.stats.Misses++
 		s.mu.Unlock()
+		req.miss()
 		if onMiss != nil {
 			if err := onMiss(); err != nil {
 				s.noteDecodeFailure()
+				req.decodeFailure()
 				return nil, err
 			}
 		}
 		m, err := comp.Decode(key.LOD)
 		if err != nil {
 			s.noteDecodeFailure()
+			req.decodeFailure()
 		}
 		return m, err
 	}
 
 	e, found := s.lookupOrReserve(key)
 	if found {
+		req.hit()
 		<-e.ready
 		return e.mesh, e.err
 	}
+	req.miss()
 
 	m, err := func() (m *mesh.Mesh, err error) {
 		defer func() {
 			if r := recover(); r != nil {
 				s.fail(e, r)
+				req.decodeFailure()
 				panic(r)
 			}
 		}()
@@ -346,14 +382,37 @@ func (c *Cache) GetOrDecodeProgressive(key Key, comp *ppvp.Compressed, onMiss fu
 				return nil, err
 			}
 		}
-		return s.decodeWarm(c, key, comp)
+		return s.decodeWarm(c, key, comp, req)
 	}()
 	s.complete(e, m, err)
+	if err != nil {
+		req.decodeFailure()
+	}
 	return m, err
 }
 
+// hit/miss/decodeFailure are nil-safe increment helpers so the cache's
+// accounting points stay one-liners.
+func (r *Counters) hit() {
+	if r != nil {
+		r.Hits.Add(1)
+	}
+}
+
+func (r *Counters) miss() {
+	if r != nil {
+		r.Misses.Add(1)
+	}
+}
+
+func (r *Counters) decodeFailure() {
+	if r != nil {
+		r.DecodeFailures.Add(1)
+	}
+}
+
 // decodeWarm performs the miss-path decode through the shard's decoder pool.
-func (s *shard) decodeWarm(c *Cache, key Key, comp *ppvp.Compressed) (*mesh.Mesh, error) {
+func (s *shard) decodeWarm(c *Cache, key Key, comp *ppvp.Compressed, req *Counters) (*mesh.Mesh, error) {
 	slot := s.checkoutDecoder(key.Object)
 	defer s.releaseDecoder(slot)
 
@@ -389,6 +448,13 @@ func (s *shard) decodeWarm(c *Cache, key Key, comp *ppvp.Compressed) (*mesh.Mesh
 		s.stats.RoundsSkipped += int64(before)
 	}
 	s.mu.Unlock()
+	if req != nil {
+		req.RoundsApplied.Add(int64(dec.RoundsApplied() - before))
+		if warm {
+			req.WarmStarts.Add(1)
+			req.RoundsSkipped.Add(int64(before))
+		}
+	}
 
 	// Retain whichever decoder state reaches furthest: a cold decode below
 	// the retained decoder's LOD must not clobber the more advanced state.

@@ -209,20 +209,30 @@ func (c *evalCtx) decodeOnce(sto *storage.Object, seq, id int64, lod int) (m *me
 	key := cache.Key{Object: seq<<40 | id, LOD: lod}
 	missed := false
 	t0 := time.Now()
-	m, err = c.e.cache.GetOrDecodeProgressive(key, sto.Comp, func() error {
+	m, err = c.e.cache.GetOrDecodeProgressiveCounted(key, sto.Comp, func() error {
 		missed = true
 		c.col.decodes.Add(1)
 		return faultinject.Fire(faultinject.PointCoreDecode)
-	})
+	}, &c.col.cacheCtrs)
 	if err != nil {
 		return nil, err
 	}
 	if missed {
-		c.col.decodeNs.Add(time.Since(t0).Nanoseconds())
+		c.col.decodeMiss(lod, t0)
 	} else {
-		c.col.cacheHits.Add(1)
+		c.col.cacheHit(lod)
 	}
 	return m, nil
+}
+
+// finish snapshots the query's statistics, folding in the degrade
+// bookkeeping. Both the success path and every abort path (context expiry,
+// exhausted error budget) go through it, so even a failed query hands back
+// its phase times and exact cache attribution.
+func (c *evalCtx) finish(start time.Time) *Stats {
+	st := c.col.snapshot(time.Since(start))
+	c.deg.fill(st)
+	return st
 }
 
 // tree returns (building if needed) the AABB-tree of an object at a LOD.
@@ -277,8 +287,7 @@ func (c *evalCtx) buildGroups(o obj) []triGroup {
 // intersects reports whether the two decoded objects' surfaces intersect
 // (shared faces touching counts), using the configured accelerator.
 func (c *evalCtx) intersects(a, b obj) bool {
-	t0 := time.Now()
-	defer func() { c.col.geomNs.Add(time.Since(t0).Nanoseconds()) }()
+	defer c.col.geomDone(a.lod, time.Now())
 
 	switch c.opts.Accel {
 	case AABB:
@@ -328,8 +337,7 @@ func (c *evalCtx) intersectsPartitioned(a, b obj) bool {
 // any result > upper as "greater than upper" only. Pass math.Inf(1) for an
 // exact distance.
 func (c *evalCtx) minDist(a, b obj, upper float64) float64 {
-	t0 := time.Now()
-	defer func() { c.col.geomNs.Add(time.Since(t0).Nanoseconds()) }()
+	defer c.col.geomDone(a.lod, time.Now())
 
 	switch c.opts.Accel {
 	case AABB:
@@ -440,8 +448,7 @@ func (c *evalCtx) containsObject(outer, inner obj) bool {
 	if len(inner.mesh.Vertices) == 0 {
 		return false
 	}
-	t0 := time.Now()
-	defer func() { c.col.geomNs.Add(time.Since(t0).Nanoseconds()) }()
+	defer c.col.geomDone(outer.lod, time.Now())
 	p := inner.mesh.Vertices[0]
 	if c.opts.Accel == AABB {
 		return c.tree(outer).ContainsPoint(p)

@@ -205,6 +205,10 @@ type QueryOptions struct {
 	// tolerates before aborting anyway (0 = default 64; negative =
 	// unlimited). Quarantine skips don't consume the budget.
 	ErrorBudget int
+	// Trace enables per-query span recording: phase activity aggregated by
+	// (phase, LOD) is returned in Stats.Trace. Off by default — each traced
+	// span takes a mutex on the hot path.
+	Trace bool
 }
 
 func (q *QueryOptions) workers(e *Engine) int {

@@ -21,8 +21,7 @@ import (
 // face intersection — is resolved at the highest LOD for the survivors.
 func (e *Engine) IntersectJoin(ctx context.Context, target, source *Dataset, q QueryOptions) ([]Pair, *Stats, error) {
 	start := time.Now()
-	cacheBefore := e.cache.Stats()
-	col := newCollector(source.maxLOD)
+	col := newCollector(source.maxLOD, q, start)
 	ec := newEvalCtx(e, q, col)
 	lods := q.lodSchedule(minInt(target.maxLOD, source.maxLOD), q.Paradigm)
 	tree := source.filterTree(q.Accel)
@@ -33,7 +32,7 @@ func (e *Engine) IntersectJoin(ctx context.Context, target, source *Dataset, q Q
 		// dedup set and candidate buffer are per-worker scratch, reused
 		// across targets instead of reallocated for each one.
 		sc := ec.scratch[w].reset()
-		timed(&col.filterNs, func() {
+		col.filterPhase(func() {
 			tree.SearchIntersect(o.MBB(), func(ent rtree.Entry) bool {
 				if target.seq == source.seq && ent.ID == o.ID {
 					return true
@@ -88,7 +87,7 @@ func (e *Engine) IntersectJoin(ctx context.Context, target, source *Dataset, q Q
 					ec.deg.uncertain(w, Pair{Target: o.ID, Source: id})
 					continue
 				}
-				col.evaluated[lod].Add(1)
+				col.evalPair(lod)
 				hit := ec.intersects(to, so)
 				if !hit {
 					cMBB := source.Tileset.Object(id).MBB()
@@ -99,7 +98,7 @@ func (e *Engine) IntersectJoin(ctx context.Context, target, source *Dataset, q Q
 					}
 				}
 				if hit {
-					col.pruned[lod].Add(1)
+					col.settlePair(lod)
 					sink.add(w, Pair{Target: o.ID, Source: id})
 					col.results.Add(1)
 					continue
@@ -140,12 +139,11 @@ func (e *Engine) IntersectJoin(ctx context.Context, target, source *Dataset, q Q
 		return nil
 	}, ec.deg.backstop(e, target))
 	if err != nil {
-		return nil, nil, err
+		// Even an aborted query reports the work it did: phase times and
+		// exact cache attribution up to the failure point.
+		return nil, ec.finish(start), err
 	}
-	st := col.snapshot(time.Since(start))
-	st.captureCache(cacheBefore, e.cache.Stats())
-	ec.deg.fill(st)
-	return sink.sorted(), st, nil
+	return sink.sorted(), ec.finish(start), nil
 }
 
 func sortIDs(ids []int64) { slices.Sort(ids) }

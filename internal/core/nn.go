@@ -38,8 +38,7 @@ func (e *Engine) KNNJoin(ctx context.Context, target, source *Dataset, q QueryOp
 		q.K = 1
 	}
 	start := time.Now()
-	cacheBefore := e.cache.Stats()
-	col := newCollector(source.maxLOD)
+	col := newCollector(source.maxLOD, q, start)
 	ec := newEvalCtx(e, q, col)
 	lods := q.lodSchedule(minInt(target.maxLOD, source.maxLOD), q.Paradigm)
 	tree := source.filterTree(q.Accel)
@@ -54,7 +53,7 @@ func (e *Engine) KNNJoin(ctx context.Context, target, source *Dataset, q QueryOp
 		// yield several entries; they merge by taking the minimum of both
 		// range endpoints.
 		var cands []*nnCand
-		timed(&col.filterNs, func() {
+		col.filterPhase(func() {
 			skip := func(ent rtree.Entry) bool { return target.seq == source.seq && ent.ID == o.ID }
 			raw := tree.NNCandidates(o.MBB(), q.K, skip)
 			byID := make(map[int64]*nnCand, len(raw))
@@ -134,7 +133,7 @@ func (e *Engine) KNNJoin(ctx context.Context, target, source *Dataset, q QueryOp
 				// LOD's refinement (or by the filter when none ran yet).
 				if c.minDist > minmax*(1+1e-12) {
 					if prevEvalLOD >= 0 {
-						col.pruned[prevEvalLOD].Add(1)
+						col.settlePair(prevEvalLOD)
 					}
 					continue
 				}
@@ -147,7 +146,7 @@ func (e *Engine) KNNJoin(ctx context.Context, target, source *Dataset, q QueryOp
 					failed = append(failed, c)
 					continue
 				}
-				col.evaluated[lod].Add(1)
+				col.evalPair(lod)
 				d := ec.minDist(to, so, c.maxDist*(1+1e-12))
 				if d < c.maxDist {
 					c.maxDist = d
@@ -172,7 +171,7 @@ func (e *Engine) KNNJoin(ctx context.Context, target, source *Dataset, q QueryOp
 			kept = cands[:0]
 			for _, c := range cands {
 				if c.minDist > minmax*(1+1e-12) {
-					col.pruned[lod].Add(1)
+					col.settlePair(lod)
 					continue
 				}
 				kept = append(kept, c)
@@ -209,7 +208,7 @@ func (e *Engine) KNNJoin(ctx context.Context, target, source *Dataset, q QueryOp
 						failed = append(failed, c)
 						continue
 					}
-					col.evaluated[top].Add(1)
+					col.evalPair(top)
 					d := ec.minDist(to, so, c.maxDist*(1+1e-12))
 					c.minDist = math.Min(d, c.maxDist)
 					c.maxDist = c.minDist
@@ -265,7 +264,7 @@ func (e *Engine) KNNJoin(ctx context.Context, target, source *Dataset, q QueryOp
 		return nil
 	}, ec.deg.backstop(e, target))
 	if err != nil {
-		return nil, nil, err
+		return nil, ec.finish(start), err
 	}
 
 	var sink []Neighbor
@@ -282,10 +281,7 @@ func (e *Engine) KNNJoin(ctx context.Context, target, source *Dataset, q QueryOp
 		}
 		return sink[i].Source < sink[j].Source
 	})
-	st := col.snapshot(time.Since(start))
-	st.captureCache(cacheBefore, e.cache.Stats())
-	ec.deg.fill(st)
-	return sink, st, nil
+	return sink, ec.finish(start), nil
 }
 
 func allExact(cands []*nnCand) bool {

@@ -23,14 +23,13 @@ func (e *Engine) ContainingObjects(ctx context.Context, d *Dataset, p geom.Vec3,
 		ctx = context.Background()
 	}
 	start := time.Now()
-	cacheBefore := e.cache.Stats()
-	col := newCollector(d.maxLOD)
+	col := newCollector(d.maxLOD, q, start)
 	ec := newEvalCtx(e, q, col)
 	lods := q.lodSchedule(d.maxLOD, q.Paradigm)
 
 	// Filtering: only objects whose MBB covers p can contain it.
 	var cands []int64
-	timed(&col.filterNs, func() {
+	col.filterPhase(func() {
 		d.tree.SearchIntersect(geom.BoxOf(p), func(ent rtree.Entry) bool {
 			cands = append(cands, ent.ID)
 			return true
@@ -51,7 +50,7 @@ func (e *Engine) ContainingObjects(ctx context.Context, d *Dataset, p geom.Vec3,
 			// Unlike the join paths, this loop does not run under
 			// runPerTarget, so it must observe the query deadline itself.
 			if err := ctx.Err(); err != nil {
-				return nil, nil, err
+				return nil, ec.finish(start), err
 			}
 			o, err := ec.decode(d, id, lod)
 			if err != nil {
@@ -59,22 +58,22 @@ func (e *Engine) ContainingObjects(ctx context.Context, d *Dataset, p geom.Vec3,
 				// buffers.
 				skip, aerr := ec.degradeErr(0, d, id, err)
 				if !skip {
-					return nil, nil, aerr
+					return nil, ec.finish(start), aerr
 				}
 				ec.deg.uncertainID(id)
 				continue
 			}
-			col.evaluated[lod].Add(1)
+			col.evalPair(lod)
 			inside := ec.pointInside(o, p)
 			if inside {
 				// Subset property: inside a low LOD ⇒ inside the object.
-				col.pruned[lod].Add(1)
+				col.settlePair(lod)
 				out = append(out, id)
 				col.results.Add(1)
 				continue
 			}
 			if last {
-				col.pruned[lod].Add(1)
+				col.settlePair(lod)
 				continue
 			}
 			next = append(next, id)
@@ -82,17 +81,13 @@ func (e *Engine) ContainingObjects(ctx context.Context, d *Dataset, p geom.Vec3,
 		remaining = next
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	st := col.snapshot(time.Since(start))
-	st.captureCache(cacheBefore, e.cache.Stats())
-	ec.deg.fill(st)
-	return out, st, nil
+	return out, ec.finish(start), nil
 }
 
 // pointInside tests point containment against a decoded object, with the
 // AABB accelerator when selected.
 func (c *evalCtx) pointInside(o obj, p geom.Vec3) bool {
-	t0 := time.Now()
-	defer func() { c.col.geomNs.Add(time.Since(t0).Nanoseconds()) }()
+	defer c.col.geomDone(o.lod, time.Now())
 	if c.opts.Accel == AABB {
 		return c.tree(o).ContainsPoint(p)
 	}
@@ -116,14 +111,13 @@ func (e *Engine) RangeQuery(ctx context.Context, d *Dataset, box geom.Box3, q Qu
 		ctx = context.Background()
 	}
 	start := time.Now()
-	cacheBefore := e.cache.Stats()
-	col := newCollector(d.maxLOD)
+	col := newCollector(d.maxLOD, q, start)
 	ec := newEvalCtx(e, q, col)
 	lods := q.lodSchedule(d.maxLOD, q.Paradigm)
 
 	var cands []int64
 	var definite []int64
-	timed(&col.filterNs, func() {
+	col.filterPhase(func() {
 		d.tree.SearchIntersect(box, func(ent rtree.Entry) bool {
 			if box.Contains(ent.Box) {
 				// The whole MBB (hence the object) is inside the box.
@@ -150,21 +144,20 @@ func (e *Engine) RangeQuery(ctx context.Context, d *Dataset, box geom.Box3, q Qu
 		for _, id := range remaining {
 			// Not under runPerTarget: observe the query deadline here.
 			if err := ctx.Err(); err != nil {
-				return nil, nil, err
+				return nil, ec.finish(start), err
 			}
 			o, err := ec.decode(d, id, lod)
 			if err != nil {
 				skip, aerr := ec.degradeErr(0, d, id, err)
 				if !skip {
-					return nil, nil, aerr
+					return nil, ec.finish(start), aerr
 				}
 				ec.deg.uncertainID(id)
 				continue
 			}
-			col.evaluated[lod].Add(1)
+			col.evalPair(lod)
 			hit := func() bool {
-				t0 := time.Now()
-				defer func() { col.geomNs.Add(time.Since(t0).Nanoseconds()) }()
+				defer col.geomDone(lod, time.Now())
 				for i := range o.mesh.Faces {
 					tri := o.mesh.Triangle(i)
 					if !tri.Bounds().Intersects(box) {
@@ -184,7 +177,7 @@ func (e *Engine) RangeQuery(ctx context.Context, d *Dataset, box geom.Box3, q Qu
 				return false
 			}()
 			if hit {
-				col.pruned[lod].Add(1)
+				col.settlePair(lod)
 				out = append(out, id)
 				col.results.Add(1)
 				continue
@@ -196,7 +189,7 @@ func (e *Engine) RangeQuery(ctx context.Context, d *Dataset, box geom.Box3, q Qu
 					out = append(out, id)
 					col.results.Add(1)
 				}
-				col.pruned[lod].Add(1)
+				col.settlePair(lod)
 				continue
 			}
 			next = append(next, id)
@@ -204,10 +197,7 @@ func (e *Engine) RangeQuery(ctx context.Context, d *Dataset, box geom.Box3, q Qu
 		remaining = next
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	st := col.snapshot(time.Since(start))
-	st.captureCache(cacheBefore, e.cache.Stats())
-	ec.deg.fill(st)
-	return out, st, nil
+	return out, ec.finish(start), nil
 }
 
 // boxTriangles triangulates the six faces of a box (12 triangles).

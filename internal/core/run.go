@@ -7,7 +7,6 @@ import (
 	"runtime/debug"
 	"slices"
 	"sync"
-	"time"
 
 	"repro/internal/storage"
 )
@@ -154,11 +153,4 @@ func comparePairs(a, b Pair) int {
 		return c
 	}
 	return cmp.Compare(a.Source, b.Source)
-}
-
-// timed wraps a phase measurement.
-func timed(dst interface{ Add(int64) int64 }, fn func()) {
-	t0 := time.Now()
-	fn()
-	dst.Add(time.Since(t0).Nanoseconds())
 }

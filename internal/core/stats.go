@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/obs"
 )
 
 // Stats describes one join execution: the wall-clock time, the per-phase
@@ -34,9 +35,11 @@ type Stats struct {
 	// decoder instead of replaying from LOD 0; RoundsApplied counts decode
 	// rounds actually replayed during this query and RoundsSkipped the
 	// rounds warm starts reused. The cold-path cost would have been
-	// RoundsApplied + RoundsSkipped. Counters are deltas of the shared
-	// engine cache, so concurrent queries on one engine can bleed into each
-	// other's numbers.
+	// RoundsApplied + RoundsSkipped. Attribution is exact: the engine
+	// passes a per-query counter set into every cache call and the cache
+	// increments it at the same points it moves its own shard counters, so
+	// concurrent queries on one engine never bleed into each other's
+	// numbers.
 	WarmStarts    int64
 	RoundsApplied int64
 	RoundsSkipped int64
@@ -63,10 +66,15 @@ type Stats struct {
 	// made under Degrade. Both policies record quarantine activity.
 	QuarantineSkips int64
 	DecodeRetries   int64
-	// DecodeFailures is the engine cache's failed-decode delta during this
-	// query (like the warm-start counters, concurrent queries on one engine
-	// can bleed into each other's numbers).
+	// DecodeFailures counts this query's failed miss-path decodes. Like the
+	// warm-start counters it is attributed exactly to this query, not
+	// diffed from the shared cache's global counters.
 	DecodeFailures int64
+
+	// Trace is the query's aggregated span timeline — one event per
+	// (phase, LOD), with counts and first/last/total activity offsets —
+	// recorded only when QueryOptions.Trace was set.
+	Trace []obs.TraceEvent
 }
 
 // PrunedFraction returns PairsPruned[l] / PairsEvaluated[l] (0 when no
@@ -78,16 +86,6 @@ func (s *Stats) PrunedFraction(lod int) float64 {
 	return float64(s.PairsPruned[lod]) / float64(s.PairsEvaluated[lod])
 }
 
-// captureCache folds the engine cache's counter movement between two
-// snapshots (taken at query start and end) into the query stats.
-func (s *Stats) captureCache(before, after cache.Stats) {
-	d := after.Sub(before)
-	s.WarmStarts = d.WarmStarts
-	s.RoundsApplied = d.RoundsApplied
-	s.RoundsSkipped = d.RoundsSkipped
-	s.DecodeFailures = d.DecodeFailures
-}
-
 // String formats the stats as a one-line summary plus the LOD table.
 func (s *Stats) String() string {
 	var b strings.Builder
@@ -96,9 +94,9 @@ func (s *Stats) String() string {
 		s.DecodeTime.Round(time.Microsecond), s.GeomTime.Round(time.Microsecond),
 		s.Candidates, s.Results, s.Decodes, s.CacheHits,
 		s.WarmStarts, s.RoundsApplied, s.RoundsSkipped)
-	if len(s.Degraded) > 0 || len(s.Uncertain) > 0 || len(s.UncertainIDs) > 0 || s.QuarantineSkips > 0 {
-		fmt.Fprintf(&b, " degraded=%d uncertain=%d quarantineSkips=%d decodeRetries=%d",
-			len(s.Degraded), len(s.Uncertain)+len(s.UncertainIDs), s.QuarantineSkips, s.DecodeRetries)
+	if len(s.Degraded) > 0 || len(s.Uncertain) > 0 || len(s.UncertainIDs) > 0 || s.QuarantineSkips > 0 || s.DecodeFailures > 0 {
+		fmt.Fprintf(&b, " degraded=%d uncertain=%d quarantineSkips=%d decodeRetries=%d decodeFailures=%d",
+			len(s.Degraded), len(s.Uncertain)+len(s.UncertainIDs), s.QuarantineSkips, s.DecodeRetries, s.DecodeFailures)
 	}
 	for l := range s.PairsEvaluated {
 		if s.PairsEvaluated[l] > 0 {
@@ -121,13 +119,73 @@ type collector struct {
 	decodeRetries   atomic.Int64
 	evaluated       []atomic.Int64
 	pruned          []atomic.Int64
+
+	// cacheCtrs is this query's private attribution sink: every cache call
+	// the query makes passes it down, and the cache increments it in step
+	// with its own shard counters. Reading it at snapshot time therefore
+	// yields the query's exact warm-start/rounds/failure numbers, immune to
+	// other queries hammering the shared cache concurrently.
+	cacheCtrs cache.Counters
+
+	// tr aggregates span-style trace events when QueryOptions.Trace is set;
+	// nil otherwise, and every obs.Recorder method is a no-op on nil, so
+	// the hot path pays nothing when tracing is off.
+	tr *obs.Recorder
 }
 
-func newCollector(maxLOD int) *collector {
-	return &collector{
+func newCollector(maxLOD int, q QueryOptions, start time.Time) *collector {
+	c := &collector{
 		evaluated: make([]atomic.Int64, maxLOD+1),
 		pruned:    make([]atomic.Int64, maxLOD+1),
 	}
+	if q.Trace {
+		c.tr = obs.NewRecorder(start)
+	}
+	return c
+}
+
+// filterPhase times the filtering step and traces it as one span.
+func (c *collector) filterPhase(fn func()) {
+	t0 := time.Now()
+	fn()
+	d := time.Since(t0)
+	c.filterNs.Add(d.Nanoseconds())
+	c.tr.Observe("filter", obs.NoLOD, t0, d)
+}
+
+// decodeMiss records a cache-missing decode that started at t0.
+func (c *collector) decodeMiss(lod int, t0 time.Time) {
+	d := time.Since(t0)
+	c.decodeNs.Add(d.Nanoseconds())
+	c.tr.Observe("decode", lod, t0, d)
+}
+
+// cacheHit records a decode request served from the cache.
+func (c *collector) cacheHit(lod int) {
+	c.cacheHits.Add(1)
+	c.tr.Count("cache_hit", lod, 1)
+}
+
+// geomDone records a geometric evaluation that started at t0. Call it via
+// defer with time.Now() as the argument — arguments are evaluated at defer
+// time, so no timing closure is needed.
+func (c *collector) geomDone(lod int, t0 time.Time) {
+	d := time.Since(t0)
+	c.geomNs.Add(d.Nanoseconds())
+	c.tr.Observe("geom", lod, t0, d)
+}
+
+// evalPair counts one candidate pair evaluated at lod.
+func (c *collector) evalPair(lod int) {
+	c.evaluated[lod].Add(1)
+	c.tr.Count("evaluate", lod, 1)
+}
+
+// settlePair counts one candidate pair settled (accepted or rejected for
+// good) at lod.
+func (c *collector) settlePair(lod int) {
+	c.pruned[lod].Add(1)
+	c.tr.Count("settle", lod, 1)
 }
 
 func (c *collector) snapshot(elapsed time.Duration) *Stats {
@@ -142,8 +200,13 @@ func (c *collector) snapshot(elapsed time.Duration) *Stats {
 		CacheHits:       c.cacheHits.Load(),
 		QuarantineSkips: c.quarantineSkips.Load(),
 		DecodeRetries:   c.decodeRetries.Load(),
+		WarmStarts:      c.cacheCtrs.WarmStarts.Load(),
+		RoundsApplied:   c.cacheCtrs.RoundsApplied.Load(),
+		RoundsSkipped:   c.cacheCtrs.RoundsSkipped.Load(),
+		DecodeFailures:  c.cacheCtrs.DecodeFailures.Load(),
 		PairsEvaluated:  make([]int64, len(c.evaluated)),
 		PairsPruned:     make([]int64, len(c.pruned)),
+		Trace:           c.tr.Events(),
 	}
 	for i := range c.evaluated {
 		s.PairsEvaluated[i] = c.evaluated[i].Load()

@@ -22,8 +22,7 @@ import (
 // highest LOD where the decision is exact.
 func (e *Engine) WithinJoin(ctx context.Context, target, source *Dataset, dist float64, q QueryOptions) ([]Pair, *Stats, error) {
 	start := time.Now()
-	cacheBefore := e.cache.Stats()
-	col := newCollector(source.maxLOD)
+	col := newCollector(source.maxLOD, q, start)
 	ec := newEvalCtx(e, q, col)
 	lods := q.lodSchedule(minInt(target.maxLOD, source.maxLOD), q.Paradigm)
 	tree := source.filterTree(q.Accel)
@@ -33,7 +32,7 @@ func (e *Engine) WithinJoin(ctx context.Context, target, source *Dataset, dist f
 		// Per-worker scratch: sc.def collects whole-subtree acceptances,
 		// sc.ids the candidates needing refinement; sc.seen dedups both.
 		sc := ec.scratch[w].reset()
-		timed(&col.filterNs, func() {
+		col.filterPhase(func() {
 			r := tree.SearchWithin(o.MBB(), dist)
 			for _, ent := range r.Definite {
 				if target.seq == source.seq && ent.ID == o.ID {
@@ -94,16 +93,16 @@ func (e *Engine) WithinJoin(ctx context.Context, target, source *Dataset, dist f
 					ec.deg.uncertain(w, Pair{Target: o.ID, Source: id})
 					continue
 				}
-				col.evaluated[lod].Add(1)
+				col.evalPair(lod)
 				d := ec.minDist(to, so, dist*(1+1e-12))
 				if d <= dist {
-					col.pruned[lod].Add(1)
+					col.settlePair(lod)
 					sink.add(w, Pair{Target: o.ID, Source: id})
 					col.results.Add(1)
 					continue
 				}
 				if last {
-					col.pruned[lod].Add(1) // settled by rejection at top LOD
+					col.settlePair(lod) // settled by rejection at top LOD
 					continue
 				}
 				next = append(next, id)
@@ -113,18 +112,15 @@ func (e *Engine) WithinJoin(ctx context.Context, target, source *Dataset, dist f
 		return nil
 	}, ec.deg.backstop(e, target))
 	if err != nil {
-		return nil, nil, err
+		return nil, ec.finish(start), err
 	}
-	st := col.snapshot(time.Since(start))
-	st.captureCache(cacheBefore, e.cache.Stats())
-	ec.deg.fill(st)
-	return sink.sorted(), st, nil
+	return sink.sorted(), ec.finish(start), nil
 }
 
 // Dist is a convenience exact distance between two stored objects at the
 // highest LOD (used by examples and tests).
 func (e *Engine) ExactDistance(a *Dataset, aid int64, b *Dataset, bid int64, q QueryOptions) (float64, error) {
-	col := newCollector(maxInt(a.maxLOD, b.maxLOD))
+	col := newCollector(maxInt(a.maxLOD, b.maxLOD), q, time.Now())
 	ec := newEvalCtx(e, q, col)
 	ao, err := ec.decode(a, aid, a.maxLOD)
 	if err != nil {

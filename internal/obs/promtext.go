@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+)
+
+// ParsePrometheusText is a minimal validator of the text exposition format
+// used by this package's tests and the server's metrics smoke test: it
+// returns the family name -> type map and errors on any malformed line.
+func ParsePrometheusText(s string) (map[string]string, error) {
+	fams := make(map[string]string)
+	for _, line := range strings.Split(s, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				return nil, errLine(line)
+			}
+			switch parts[3] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, errLine(line)
+			}
+			fams[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		// Sample line: name[{labels}] value
+		rest := line
+		if i := strings.IndexByte(rest, '{'); i >= 0 {
+			j := strings.LastIndexByte(rest, '}')
+			if j < i {
+				return nil, errLine(line)
+			}
+			rest = rest[:i] + rest[j+1:]
+		}
+		parts := strings.Fields(rest)
+		if len(parts) != 2 {
+			return nil, errLine(line)
+		}
+		if parts[1] != "+Inf" && parts[1] != "-Inf" && parts[1] != "NaN" {
+			if _, err := strconv.ParseFloat(parts[1], 64); err != nil {
+				return nil, errLine(line)
+			}
+		}
+	}
+	return fams, nil
+}
+
+type parseErr string
+
+func (e parseErr) Error() string { return "bad exposition line: " + string(e) }
+
+func errLine(l string) error { return parseErr(l) }

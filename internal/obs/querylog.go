@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// QuerySummary is the ring-buffer record of one served query — the
+// /debug/queries line an operator reads to reconstruct what the server was
+// doing when a latency spike or failure landed.
+type QuerySummary struct {
+	// ID is the request ID the server middleware assigned (also returned in
+	// the X-Request-ID response header).
+	ID        string    `json:"id,omitempty"`
+	Kind      string    `json:"kind"`
+	Start     time.Time `json:"start"`
+	ElapsedMS float64   `json:"elapsed_ms"`
+	Status    string    `json:"status"` // "ok" | "error"
+	Error     string    `json:"error,omitempty"`
+
+	Candidates     int64 `json:"candidates"`
+	Results        int64 `json:"results"`
+	Decodes        int64 `json:"decodes"`
+	CacheHits      int64 `json:"cache_hits"`
+	WarmStarts     int64 `json:"warm_starts"`
+	DecodeFailures int64 `json:"decode_failures"`
+	Degraded       int   `json:"degraded"`
+
+	// Trace carries the query's span timeline when tracing was requested.
+	Trace []TraceEvent `json:"trace,omitempty"`
+}
+
+// QueryLog is a fixed-capacity ring buffer of the most recent query
+// summaries. Safe for concurrent use.
+type QueryLog struct {
+	mu    sync.Mutex
+	buf   []QuerySummary
+	next  int
+	count int
+	total uint64
+}
+
+// NewQueryLog returns a log retaining the last capacity summaries
+// (minimum 1).
+func NewQueryLog(capacity int) *QueryLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &QueryLog{buf: make([]QuerySummary, capacity)}
+}
+
+// Record appends one summary, evicting the oldest when full.
+func (l *QueryLog) Record(s QuerySummary) {
+	l.mu.Lock()
+	l.buf[l.next] = s
+	l.next = (l.next + 1) % len(l.buf)
+	if l.count < len(l.buf) {
+		l.count++
+	}
+	l.total++
+	l.mu.Unlock()
+}
+
+// Snapshot returns the retained summaries, newest first.
+func (l *QueryLog) Snapshot() []QuerySummary {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]QuerySummary, 0, l.count)
+	for i := 1; i <= l.count; i++ {
+		out = append(out, l.buf[(l.next-i+len(l.buf))%len(l.buf)])
+	}
+	return out
+}
+
+// Total returns how many summaries were ever recorded (including evicted
+// ones).
+func (l *QueryLog) Total() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}

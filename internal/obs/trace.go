@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// NoLOD marks a trace event that is not tied to one LOD (the filter phase,
+// for example).
+const NoLOD = -1
+
+// TraceEvent is one aggregated span family of a traced query: every span
+// with the same (name, lod) folds into a single event carrying the count,
+// the window it was active in, and the summed duration across workers.
+// Offsets are microseconds since the query started; Total can exceed the
+// window width because workers overlap.
+type TraceEvent struct {
+	Name string `json:"name"`
+	// LOD is the refinement level the spans ran at, or -1 (NoLOD) when the
+	// phase is not LOD-specific.
+	LOD   int   `json:"lod"`
+	Count int64 `json:"count"`
+	// FirstUS is the offset of the earliest span start; LastUS the offset
+	// of the latest span end.
+	FirstUS int64 `json:"first_us"`
+	LastUS  int64 `json:"last_us"`
+	// TotalUS is the summed span duration across all workers (CPU-time
+	// flavored, like the per-phase stats).
+	TotalUS int64 `json:"total_us"`
+}
+
+type traceKey struct {
+	name string
+	lod  int
+}
+
+// Recorder aggregates span-style events for one traced query. It is safe
+// for concurrent use by the query's workers; a nil *Recorder ignores every
+// call, so instrumentation points need no guards.
+type Recorder struct {
+	start time.Time
+
+	mu     sync.Mutex
+	events map[traceKey]*TraceEvent
+}
+
+// NewRecorder returns a recorder whose event offsets are measured from
+// start.
+func NewRecorder(start time.Time) *Recorder {
+	return &Recorder{start: start, events: make(map[traceKey]*TraceEvent)}
+}
+
+// Observe folds one span (begun at t0, lasting dur) into the (name, lod)
+// event.
+func (r *Recorder) Observe(name string, lod int, t0 time.Time, dur time.Duration) {
+	if r == nil {
+		return
+	}
+	first := t0.Sub(r.start).Microseconds()
+	last := first + dur.Microseconds()
+	r.mu.Lock()
+	e := r.slot(name, lod, first)
+	e.Count++
+	if first < e.FirstUS {
+		e.FirstUS = first
+	}
+	if last > e.LastUS {
+		e.LastUS = last
+	}
+	e.TotalUS += dur.Microseconds()
+	r.mu.Unlock()
+}
+
+// Count folds n instantaneous occurrences of (name, lod) happening now.
+func (r *Recorder) Count(name string, lod int, n int64) {
+	if r == nil {
+		return
+	}
+	at := time.Since(r.start).Microseconds()
+	r.mu.Lock()
+	e := r.slot(name, lod, at)
+	e.Count += n
+	if at < e.FirstUS {
+		e.FirstUS = at
+	}
+	if at > e.LastUS {
+		e.LastUS = at
+	}
+	r.mu.Unlock()
+}
+
+// slot returns (creating if needed) the event for (name, lod). Callers hold
+// r.mu.
+func (r *Recorder) slot(name string, lod int, first int64) *TraceEvent {
+	k := traceKey{name: name, lod: lod}
+	e, ok := r.events[k]
+	if !ok {
+		e = &TraceEvent{Name: name, LOD: lod, FirstUS: first, LastUS: first}
+		r.events[k] = e
+	}
+	return e
+}
+
+// Events returns the aggregated timeline, ordered by first activity (ties
+// by name then LOD). Nil recorders return nil.
+func (r *Recorder) Events() []TraceEvent {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]TraceEvent, 0, len(r.events))
+	for _, e := range r.events {
+		out = append(out, *e)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].FirstUS != out[j].FirstUS {
+			return out[i].FirstUS < out[j].FirstUS
+		}
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].LOD < out[j].LOD
+	})
+	return out
+}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecorderAggregatesSpans(t *testing.T) {
+	start := time.Now()
+	r := NewRecorder(start)
+
+	r.Observe("decode", 0, start.Add(1*time.Millisecond), 2*time.Millisecond)
+	r.Observe("decode", 0, start.Add(5*time.Millisecond), 1*time.Millisecond)
+	r.Observe("decode", 1, start.Add(8*time.Millisecond), 1*time.Millisecond)
+	r.Observe("filter", NoLOD, start, 500*time.Microsecond)
+	r.Count("settle", 0, 3)
+
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("got %d events, want 4: %+v", len(evs), evs)
+	}
+	// Ordered by first activity: filter starts at 0.
+	if evs[0].Name != "filter" || evs[0].LOD != NoLOD {
+		t.Errorf("first event = %+v, want filter", evs[0])
+	}
+	var dec0 *TraceEvent
+	for i := range evs {
+		if evs[i].Name == "decode" && evs[i].LOD == 0 {
+			dec0 = &evs[i]
+		}
+	}
+	if dec0 == nil {
+		t.Fatal("decode lod=0 event missing")
+	}
+	if dec0.Count != 2 {
+		t.Errorf("decode lod=0 count = %d, want 2", dec0.Count)
+	}
+	if dec0.FirstUS != 1000 {
+		t.Errorf("decode lod=0 first = %dus, want 1000", dec0.FirstUS)
+	}
+	if dec0.LastUS != 6000 {
+		t.Errorf("decode lod=0 last = %dus, want 6000", dec0.LastUS)
+	}
+	if dec0.TotalUS != 3000 {
+		t.Errorf("decode lod=0 total = %dus, want 3000", dec0.TotalUS)
+	}
+}
+
+func TestNilRecorderIsSilent(t *testing.T) {
+	var r *Recorder
+	r.Observe("x", 0, time.Now(), time.Millisecond) // must not panic
+	r.Count("y", 0, 1)
+	if evs := r.Events(); evs != nil {
+		t.Errorf("nil recorder returned events: %v", evs)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(time.Now())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Observe("geom", i%3, time.Now(), time.Microsecond)
+				r.Count("settle", i%3, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	var spans, counts int64
+	for _, e := range r.Events() {
+		switch e.Name {
+		case "geom":
+			spans += e.Count
+		case "settle":
+			counts += e.Count
+		}
+	}
+	if spans != 4000 || counts != 4000 {
+		t.Errorf("spans=%d counts=%d, want 4000 each", spans, counts)
+	}
+}
+
+func TestQueryLogRing(t *testing.T) {
+	l := NewQueryLog(3)
+	for i := 0; i < 5; i++ {
+		l.Record(QuerySummary{Kind: "nn", Results: int64(i)})
+	}
+	snap := l.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot len = %d, want 3", len(snap))
+	}
+	// Newest first: 4, 3, 2.
+	for i, want := range []int64{4, 3, 2} {
+		if snap[i].Results != want {
+			t.Errorf("snap[%d].Results = %d, want %d", i, snap[i].Results, want)
+		}
+	}
+	if l.Total() != 5 {
+		t.Errorf("Total() = %d, want 5", l.Total())
+	}
+
+	// Partial fill keeps order too.
+	l2 := NewQueryLog(8)
+	l2.Record(QuerySummary{Results: 1})
+	l2.Record(QuerySummary{Results: 2})
+	snap2 := l2.Snapshot()
+	if len(snap2) != 2 || snap2[0].Results != 2 || snap2[1].Results != 1 {
+		t.Errorf("partial snapshot wrong: %+v", snap2)
+	}
+}

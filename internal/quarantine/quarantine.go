@@ -86,7 +86,9 @@ type Entry struct {
 	LastFailure time.Time `json:"last_failure,omitempty"`
 }
 
-// Stats aggregates registry counters.
+// Stats aggregates registry counters. The server samples it at scrape time
+// to back the threedpro_quarantine_* metric families, so /metrics, /statusz,
+// and this snapshot always agree.
 type Stats struct {
 	// Open and HalfOpen count objects currently in those states.
 	Open     int `json:"open"`

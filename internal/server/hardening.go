@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"runtime"
@@ -32,6 +33,14 @@ type Config struct {
 	ShutdownGrace time.Duration
 	// Logger receives middleware and lifecycle logs (default log.Default()).
 	Logger *log.Logger
+	// Slog receives the structured access log — one record per request with
+	// the request ID, method, path, status, and latency (default
+	// slog.Default()).
+	Slog *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: the profiling endpoints expose memory contents and must not
+	// face untrusted clients.
+	EnablePprof bool
 }
 
 func (c *Config) setDefaults() {
@@ -49,6 +58,9 @@ func (c *Config) setDefaults() {
 	}
 	if c.Logger == nil {
 		c.Logger = log.Default()
+	}
+	if c.Slog == nil {
+		c.Slog = slog.Default()
 	}
 }
 
@@ -177,6 +189,7 @@ func (s *Server) query(h http.HandlerFunc) http.Handler {
 		case s.inflight <- struct{}{}:
 			defer func() { <-s.inflight }()
 		default:
+			s.obs.admissionRej.Inc()
 			w.Header().Set("Retry-After", "1")
 			writeErrStatus(w, http.StatusServiceUnavailable,
 				fmt.Sprintf("server at capacity (%d queries in flight)", s.cfg.MaxInFlight))

@@ -1,0 +1,219 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// queryLogCapacity bounds the /debug/queries ring buffer.
+const queryLogCapacity = 256
+
+// serverObs bundles the server's observability state: the Prometheus
+// registry behind /metrics, the per-query counters the handlers feed, and
+// the /debug/queries ring buffer.
+type serverObs struct {
+	reg *obs.Registry
+
+	queriesTotal  *obs.CounterVec // kind, status
+	queryDuration *obs.HistogramVec
+	phaseSeconds  *obs.CounterVec // phase
+	decodeRounds  *obs.Histogram
+	admissionRej  *obs.Counter
+
+	queryLog *obs.QueryLog
+}
+
+// initObs builds the metric families. Engine-lifetime counters (cache,
+// quarantine) are sampled at scrape time through Counter/GaugeFuncs rather
+// than double-counted per query; the query families aggregate the exact
+// per-query stats the engine attributes.
+func (s *Server) initObs() {
+	reg := obs.NewRegistry()
+	o := &serverObs{
+		reg: reg,
+		queriesTotal: reg.CounterVec("threedpro_queries_total",
+			"Queries served, by query kind and outcome status.", "kind", "status"),
+		queryDuration: reg.HistogramVec("threedpro_query_duration_seconds",
+			"Query wall-clock latency by kind.", obs.DurationBuckets, "kind"),
+		phaseSeconds: reg.CounterVec("threedpro_query_phase_seconds_total",
+			"Cumulative per-phase CPU time across queries (filter/decode/geom).", "phase"),
+		decodeRounds: reg.Histogram("threedpro_query_decode_rounds",
+			"Decode rounds replayed per query.", obs.RoundBuckets),
+		admissionRej: reg.Counter("threedpro_admission_rejected_total",
+			"Query requests shed by admission control."),
+		queryLog: obs.NewQueryLog(queryLogCapacity),
+	}
+	reg.GaugeFunc("threedpro_queries_inflight",
+		"Query requests currently admitted.", func() float64 { return float64(len(s.inflight)) })
+
+	cache := s.eng.Cache()
+	reg.CounterFunc("threedpro_cache_hits_total",
+		"Decode-cache hits.", func() float64 { return float64(cache.Stats().Hits) })
+	reg.CounterFunc("threedpro_cache_misses_total",
+		"Decode-cache misses.", func() float64 { return float64(cache.Stats().Misses) })
+	reg.CounterFunc("threedpro_cache_evictions_total",
+		"Decode-cache evictions.", func() float64 { return float64(cache.Stats().Evictions) })
+	reg.CounterFunc("threedpro_cache_warm_starts_total",
+		"Cache misses served by resuming a retained progressive decoder.",
+		func() float64 { return float64(cache.Stats().WarmStarts) })
+	reg.CounterFunc("threedpro_cache_rounds_applied_total",
+		"Decode rounds actually replayed by cache misses.",
+		func() float64 { return float64(cache.Stats().RoundsApplied) })
+	reg.CounterFunc("threedpro_cache_rounds_skipped_total",
+		"Decode rounds warm starts reused from retained decoder state.",
+		func() float64 { return float64(cache.Stats().RoundsSkipped) })
+	reg.CounterFunc("threedpro_cache_decode_failures_total",
+		"Miss-path decodes that returned an error or panicked.",
+		func() float64 { return float64(cache.Stats().DecodeFailures) })
+	reg.GaugeFunc("threedpro_cache_bytes_used",
+		"Estimated bytes of decoded meshes held by the cache.",
+		func() float64 { return float64(cache.Stats().BytesUsed) })
+
+	quar := s.eng.Quarantine()
+	reg.GaugeFunc("threedpro_quarantine_open",
+		"Objects whose circuit breaker is currently open.",
+		func() float64 { return float64(quar.Stats().Open) })
+	reg.GaugeFunc("threedpro_quarantine_half_open",
+		"Objects currently admitting a half-open probe.",
+		func() float64 { return float64(quar.Stats().HalfOpen) })
+	reg.GaugeFunc("threedpro_quarantine_tracked",
+		"Objects with breaker records (including closed ones).",
+		func() float64 { return float64(quar.Stats().Tracked) })
+	reg.CounterFunc("threedpro_quarantine_trips_total",
+		"Closed-to-open breaker transitions.", func() float64 { return float64(quar.Stats().Trips) })
+	reg.CounterFunc("threedpro_quarantine_failures_total",
+		"Recorded per-object decode failures.", func() float64 { return float64(quar.Stats().Failures) })
+	reg.CounterFunc("threedpro_quarantine_skips_total",
+		"Decode requests refused because the object's breaker was open.",
+		func() float64 { return float64(quar.Stats().Skips) })
+	reg.CounterFunc("threedpro_quarantine_reinstated_total",
+		"Successful probes that closed a breaker again.",
+		func() float64 { return float64(quar.Stats().Reinstated) })
+
+	s.obs = o
+}
+
+// noteQuery records one executed query (one that reached the engine) into
+// the metric families and the /debug/queries ring. st is never nil: even
+// aborted queries hand back their statistics.
+func (s *Server) noteQuery(r *http.Request, kind string, st *core.Stats, err error) {
+	status := "ok"
+	errMsg := ""
+	if err != nil {
+		status = "error"
+		errMsg = firstLine(err.Error())
+	}
+	s.obs.queriesTotal.With(kind, status).Inc()
+	s.obs.queryDuration.With(kind).Observe(st.Elapsed.Seconds())
+	s.obs.phaseSeconds.With("filter").Add(st.FilterTime.Seconds())
+	s.obs.phaseSeconds.With("decode").Add(st.DecodeTime.Seconds())
+	s.obs.phaseSeconds.With("geom").Add(st.GeomTime.Seconds())
+	s.obs.decodeRounds.Observe(float64(st.RoundsApplied))
+
+	s.obs.queryLog.Record(obs.QuerySummary{
+		ID:             requestID(r),
+		Kind:           kind,
+		Start:          time.Now().Add(-st.Elapsed),
+		ElapsedMS:      float64(st.Elapsed) / float64(time.Millisecond),
+		Status:         status,
+		Error:          errMsg,
+		Candidates:     st.Candidates,
+		Results:        st.Results,
+		Decodes:        st.Decodes,
+		CacheHits:      st.CacheHits,
+		WarmStarts:     st.WarmStarts,
+		DecodeFailures: st.DecodeFailures,
+		Degraded:       len(st.Degraded),
+		Trace:          st.Trace,
+	})
+}
+
+// handleDebugQueries serves the ring buffer of recent query summaries,
+// newest first.
+func (s *Server) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, map[string]any{
+		"total":   s.obs.queryLog.Total(),
+		"queries": s.obs.queryLog.Snapshot(),
+	})
+}
+
+// ridKey is the context key the request-ID middleware stores the ID under.
+type ridKey struct{}
+
+// requestID returns the request's assigned ID ("" outside the middleware).
+func requestID(r *http.Request) string {
+	id, _ := r.Context().Value(ridKey{}).(string)
+	return id
+}
+
+// newRequestID mints a 16-hex-char random ID.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "00000000deadbeef"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// statusRecorder captures the response status for the access log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusRecorder) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument assigns every request an ID (honoring an incoming
+// X-Request-ID), echoes it on the response, and emits one structured access
+// log line per request with the ID, method, path, status, and latency.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = newRequestID()
+		}
+		r = r.WithContext(context.WithValue(r.Context(), ridKey{}, id))
+		w.Header().Set("X-Request-ID", id)
+		rec := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		s.slog.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.String("id", id),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", rec.status),
+			slog.Duration("elapsed", time.Since(start)),
+		)
+	})
+}
+
+// firstLine truncates a message at its first newline (panic values carry
+// stack traces).
+func firstLine(msg string) string {
+	for i := 0; i < len(msg); i++ {
+		if msg[i] == '\n' {
+			return msg[:i]
+		}
+	}
+	return msg
+}

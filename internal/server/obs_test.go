@@ -1,0 +1,281 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/geom"
+	"repro/internal/obs"
+	"repro/internal/ppvp"
+)
+
+// obsServer builds a dedicated server (the shared testServer would make the
+// metric assertions order-dependent across tests) with one small dataset
+// pair and returns it alongside the underlying *Server for config tweaks.
+func obsServer(t *testing.T, cfg Config) (*httptest.Server, *Server) {
+	t.Helper()
+	eng := core.NewEngine(core.EngineOptions{Workers: 2})
+	comp := ppvp.DefaultOptions()
+	comp.Rounds = 6
+	dopts := core.DatasetOptions{Compression: comp, Cuboids: 8}
+	space := geom.Box3{Min: geom.V(0, 0, 0), Max: geom.V(60, 60, 60)}
+	ma, mb := datagen.NucleiPair(datagen.NucleiOptions{Count: 8, SubdivisionLevel: 1, Seed: 51, Space: space})
+	a, err := eng.BuildDataset("alpha", ma, dopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := eng.BuildDataset("beta", mb, dopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewWithConfig(eng, cfg)
+	s.AddDataset(a)
+	s.AddDataset(b)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts, s
+}
+
+// TestMetricsEndpoint is the observability smoke test: after serving a
+// query, /metrics must expose valid Prometheus text containing every
+// documented family with its documented type.
+func TestMetricsEndpoint(t *testing.T) {
+	ts, _ := obsServer(t, Config{})
+	if resp := postJSON(t, ts.URL+"/query/within",
+		`{"target":"alpha","source":"beta","dist":25}`, nil); resp.StatusCode != 200 {
+		t.Fatalf("query status %d", resp.StatusCode)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := obs.ParsePrometheusText(string(body))
+	if err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, body)
+	}
+	want := map[string]string{
+		"threedpro_queries_total":               "counter",
+		"threedpro_query_duration_seconds":      "histogram",
+		"threedpro_query_phase_seconds_total":   "counter",
+		"threedpro_query_decode_rounds":         "histogram",
+		"threedpro_admission_rejected_total":    "counter",
+		"threedpro_queries_inflight":            "gauge",
+		"threedpro_cache_hits_total":            "counter",
+		"threedpro_cache_misses_total":          "counter",
+		"threedpro_cache_evictions_total":       "counter",
+		"threedpro_cache_warm_starts_total":     "counter",
+		"threedpro_cache_rounds_applied_total":  "counter",
+		"threedpro_cache_rounds_skipped_total":  "counter",
+		"threedpro_cache_decode_failures_total": "counter",
+		"threedpro_cache_bytes_used":            "gauge",
+		"threedpro_quarantine_open":             "gauge",
+		"threedpro_quarantine_half_open":        "gauge",
+		"threedpro_quarantine_tracked":          "gauge",
+		"threedpro_quarantine_trips_total":      "counter",
+		"threedpro_quarantine_failures_total":   "counter",
+		"threedpro_quarantine_skips_total":      "counter",
+		"threedpro_quarantine_reinstated_total": "counter",
+	}
+	for name, typ := range want {
+		if got, ok := fams[name]; !ok {
+			t.Errorf("family %q missing from scrape", name)
+		} else if got != typ {
+			t.Errorf("family %q has type %q, want %q", name, got, typ)
+		}
+	}
+	// The query above must have been counted.
+	if !strings.Contains(string(body), `threedpro_queries_total{kind="within",status="ok"} 1`) {
+		t.Errorf("within query not counted:\n%s", grepLines(string(body), "threedpro_queries_total"))
+	}
+	if !strings.Contains(string(body), "threedpro_cache_misses_total") {
+		t.Error("cache misses family missing")
+	}
+}
+
+func grepLines(s, substr string) string {
+	var out []string
+	for _, l := range strings.Split(s, "\n") {
+		if strings.Contains(l, substr) {
+			out = append(out, l)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// TestStatsJSONZeroCounters: the failure counters must serialize even when
+// zero — a scraper has to distinguish "no failures" from "field not
+// reported". (They used to carry omitempty and vanish on healthy queries.)
+func TestStatsJSONZeroCounters(t *testing.T) {
+	ts, _ := obsServer(t, Config{})
+	var out struct {
+		Stats map[string]json.RawMessage `json:"stats"`
+	}
+	if resp := postJSON(t, ts.URL+"/query/point",
+		`{"dataset":"alpha","point":[30,30,30]}`, &out); resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	for _, key := range []string{"quarantine_skips", "decode_retries", "decode_failures"} {
+		raw, ok := out.Stats[key]
+		if !ok {
+			t.Errorf("healthy query's stats omit %q", key)
+			continue
+		}
+		if string(raw) != "0" {
+			t.Errorf("stats[%q] = %s, want 0", key, raw)
+		}
+	}
+	// Round-trip: the serialized stats decode back into statsJSON unchanged.
+	var sj statsJSON
+	buf, _ := json.Marshal(out.Stats)
+	if err := json.Unmarshal(buf, &sj); err != nil {
+		t.Fatalf("stats do not round-trip through statsJSON: %v", err)
+	}
+	if sj.QuarantineSkips != 0 || sj.DecodeRetries != 0 || sj.DecodeFailures != 0 {
+		t.Errorf("round-tripped counters: %+v", sj)
+	}
+}
+
+// TestQueryTraceOverHTTP: "trace": true in the request returns the span
+// timeline in stats.trace; without it the field is absent.
+func TestQueryTraceOverHTTP(t *testing.T) {
+	ts, _ := obsServer(t, Config{})
+	var traced struct {
+		Stats struct {
+			Trace []obs.TraceEvent `json:"trace"`
+		} `json:"stats"`
+	}
+	if resp := postJSON(t, ts.URL+"/query/nn",
+		`{"target":"alpha","source":"beta","trace":true}`, &traced); resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(traced.Stats.Trace) == 0 {
+		t.Fatal("traced query returned no trace events")
+	}
+	names := map[string]bool{}
+	for _, ev := range traced.Stats.Trace {
+		names[ev.Name] = true
+	}
+	if !names["filter"] || !names["evaluate"] {
+		t.Errorf("trace lacks expected spans: %v", names)
+	}
+
+	var plain struct {
+		Stats map[string]json.RawMessage `json:"stats"`
+	}
+	if resp := postJSON(t, ts.URL+"/query/nn",
+		`{"target":"alpha","source":"beta"}`, &plain); resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if _, ok := plain.Stats["trace"]; ok {
+		t.Error("untraced query serialized a trace field")
+	}
+}
+
+// TestDebugQueries: the ring buffer surfaces recent queries newest-first
+// with their kind, status, and counters.
+func TestDebugQueries(t *testing.T) {
+	ts, _ := obsServer(t, Config{})
+	postJSON(t, ts.URL+"/query/point", `{"dataset":"alpha","point":[30,30,30]}`, nil)
+	postJSON(t, ts.URL+"/query/range", `{"dataset":"alpha","min":[0,0,0],"max":[60,60,60]}`, nil)
+
+	var out struct {
+		Total   int64              `json:"total"`
+		Queries []obs.QuerySummary `json:"queries"`
+	}
+	if resp := getJSON(t, ts.URL+"/debug/queries", &out); resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if out.Total != 2 || len(out.Queries) != 2 {
+		t.Fatalf("total = %d, entries = %d, want 2/2", out.Total, len(out.Queries))
+	}
+	// Newest first.
+	if out.Queries[0].Kind != "range" || out.Queries[1].Kind != "point" {
+		t.Errorf("order: %q then %q", out.Queries[0].Kind, out.Queries[1].Kind)
+	}
+	for _, qs := range out.Queries {
+		if qs.Status != "ok" {
+			t.Errorf("query %q status %q", qs.Kind, qs.Status)
+		}
+		if qs.ID == "" {
+			t.Errorf("query %q has no request ID", qs.Kind)
+		}
+		if qs.ElapsedMS < 0 {
+			t.Errorf("query %q elapsed %v", qs.Kind, qs.ElapsedMS)
+		}
+	}
+	// Parse-level failures (unknown dataset, bad box) never reach the
+	// engine and must not pollute the ring.
+	postJSON(t, ts.URL+"/query/point", `{"dataset":"nope","point":[0,0,0]}`, nil)
+	getJSON(t, ts.URL+"/debug/queries", &out)
+	if out.Total != 2 {
+		t.Errorf("parse failure entered the query ring: total = %d", out.Total)
+	}
+}
+
+// TestRequestIDHeader: every response carries an X-Request-ID, and an
+// incoming ID is honored end to end.
+func TestRequestIDHeader(t *testing.T) {
+	ts, _ := obsServer(t, Config{})
+	resp := getJSON(t, ts.URL+"/healthz", nil)
+	if id := resp.Header.Get("X-Request-ID"); id == "" {
+		t.Error("no X-Request-ID on response")
+	}
+
+	req, _ := http.NewRequest("GET", ts.URL+"/healthz", nil)
+	req.Header.Set("X-Request-ID", "caller-chosen-id")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if id := resp2.Header.Get("X-Request-ID"); id != "caller-chosen-id" {
+		t.Errorf("incoming ID not honored: got %q", id)
+	}
+
+	// The ID propagates into the query log.
+	req, _ = http.NewRequest("POST", ts.URL+"/query/point", strings.NewReader(`{"dataset":"alpha","point":[30,30,30]}`))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-ID", "query-trace-id")
+	resp3, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	var out struct {
+		Queries []obs.QuerySummary `json:"queries"`
+	}
+	getJSON(t, ts.URL+"/debug/queries", &out)
+	if len(out.Queries) == 0 || out.Queries[0].ID != "query-trace-id" {
+		t.Errorf("query log did not record the caller's request ID: %+v", out.Queries)
+	}
+}
+
+// TestPprofGate: the profiling endpoints exist only when EnablePprof is set.
+func TestPprofGate(t *testing.T) {
+	tsOff, _ := obsServer(t, Config{})
+	if resp := getJSON(t, tsOff.URL+"/debug/pprof/", nil); resp.StatusCode != 404 {
+		t.Errorf("pprof reachable without the flag: status %d", resp.StatusCode)
+	}
+	tsOn, _ := obsServer(t, Config{EnablePprof: true})
+	if resp := getJSON(t, tsOn.URL+"/debug/pprof/", nil); resp.StatusCode != 200 {
+		t.Errorf("pprof flag set but index returned %d", resp.StatusCode)
+	}
+}

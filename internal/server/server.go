@@ -20,7 +20,9 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -30,18 +32,23 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/obs"
 )
 
 // Server serves queries against a set of named datasets.
 type Server struct {
-	eng *core.Engine
-	cfg Config
-	log *log.Logger
+	eng  *core.Engine
+	cfg  Config
+	log  *log.Logger
+	slog *slog.Logger
 
 	// inflight is the admission-control semaphore for query endpoints.
 	inflight chan struct{}
 	// ready gates /readyz; it flips to false when shutdown begins.
 	ready atomic.Bool
+
+	// obs holds the /metrics registry and the /debug/queries ring.
+	obs *serverObs
 
 	mu       sync.RWMutex
 	datasets map[string]*core.Dataset
@@ -57,10 +64,12 @@ func NewWithConfig(eng *core.Engine, cfg Config) *Server {
 		eng:      eng,
 		cfg:      cfg,
 		log:      cfg.Logger,
+		slog:     cfg.Slog,
 		inflight: make(chan struct{}, cfg.MaxInFlight),
 		datasets: make(map[string]*core.Dataset),
 	}
 	s.ready.Store(true)
+	s.initObs()
 	return s
 }
 
@@ -79,13 +88,18 @@ func (s *Server) dataset(name string) (*core.Dataset, bool) {
 }
 
 // Handler returns the HTTP handler: the API routes wrapped in the
-// panic-recovery and body-limit middleware, with the query endpoints
-// additionally behind admission control and per-query deadlines.
+// request-ID/access-log, panic-recovery and body-limit middleware, with the
+// query endpoints additionally behind admission control and per-query
+// deadlines. /metrics serves the Prometheus registry and /debug/queries the
+// recent-query ring; the pprof endpoints mount only when Config.EnablePprof
+// is set.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /statusz", s.handleStatusz)
+	mux.Handle("GET /metrics", s.obs.reg.Handler())
+	mux.HandleFunc("GET /debug/queries", s.handleDebugQueries)
 	mux.HandleFunc("GET /datasets", s.handleListDatasets)
 	mux.HandleFunc("GET /datasets/{name}", s.handleDataset)
 	mux.HandleFunc("GET /datasets/{name}/objects/{id}", s.handleObject)
@@ -94,7 +108,14 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /query/nn", s.query(s.handleNN))
 	mux.Handle("POST /query/range", s.query(s.handleRange))
 	mux.Handle("POST /query/point", s.query(s.handlePoint))
-	return s.recoverPanics(s.limitBody(mux))
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	return s.instrument(s.recoverPanics(s.limitBody(mux)))
 }
 
 type httpError struct {
@@ -120,7 +141,7 @@ func (s *Server) writeJSON(w http.ResponseWriter, v any) {
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
 		s.log.Printf("server: encoding response: %v", err)
-		s.writeErr(w, fmt.Errorf("encoding response: %v", err))
+		writeErrStatus(w, http.StatusInternalServerError, fmt.Sprintf("encoding response: %v", err))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -135,9 +156,10 @@ func (s *Server) writeJSON(w http.ResponseWriter, v any) {
 const statusClientClosedRequest = 499
 
 // writeErr maps err onto an HTTP status. Internal errors (500) are logged
-// in full but only their first line is sent to the client, so a worker
+// in full — tagged with the request's ID so the log line joins up with the
+// access log — but only their first line is sent to the client, so a worker
 // panic's stack trace lands in the log rather than the response body.
-func (s *Server) writeErr(w http.ResponseWriter, err error) {
+func (s *Server) writeErr(w http.ResponseWriter, r *http.Request, err error) {
 	code := http.StatusInternalServerError
 	var he *httpError
 	var mbe *http.MaxBytesError
@@ -153,7 +175,7 @@ func (s *Server) writeErr(w http.ResponseWriter, err error) {
 	}
 	msg := err.Error()
 	if code == http.StatusInternalServerError {
-		s.log.Printf("server: internal error: %v", err)
+		s.log.Printf("server: internal error (request %s): %v", requestID(r), err)
 		if i := strings.IndexByte(msg, '\n'); i >= 0 {
 			msg = msg[:i]
 		}
@@ -220,7 +242,7 @@ func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
 	d, ok := s.dataset(r.PathValue("name"))
 	if !ok {
-		s.writeErr(w, notFound("dataset %q not loaded", r.PathValue("name")))
+		s.writeErr(w, r, notFound("dataset %q not loaded", r.PathValue("name")))
 		return
 	}
 	s.writeJSON(w, info(d))
@@ -229,17 +251,17 @@ func (s *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
 	d, ok := s.dataset(r.PathValue("name"))
 	if !ok {
-		s.writeErr(w, notFound("dataset %q not loaded", r.PathValue("name")))
+		s.writeErr(w, r, notFound("dataset %q not loaded", r.PathValue("name")))
 		return
 	}
 	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
 	if err != nil {
-		s.writeErr(w, notFound("object %q not in dataset", r.PathValue("id")))
+		s.writeErr(w, r, notFound("object %q not in dataset", r.PathValue("id")))
 		return
 	}
 	obj := d.Tileset.Object(id)
 	if obj == nil {
-		s.writeErr(w, notFound("object %q not in dataset", r.PathValue("id")))
+		s.writeErr(w, r, notFound("object %q not in dataset", r.PathValue("id")))
 		return
 	}
 	comp := obj.Comp
@@ -247,14 +269,14 @@ func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
 	if ls := r.URL.Query().Get("lod"); ls != "" {
 		l, err := strconv.Atoi(ls)
 		if err != nil || l < 0 || l > comp.MaxLOD() {
-			s.writeErr(w, badRequest("lod must be in [0,%d]", comp.MaxLOD()))
+			s.writeErr(w, r, badRequest("lod must be in [0,%d]", comp.MaxLOD()))
 			return
 		}
 		lod = l
 	}
 	m, err := comp.Decode(lod)
 	if err != nil {
-		s.writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	switch format := r.URL.Query().Get("format"); format {
@@ -280,7 +302,7 @@ func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
 			"volume":   m.Volume(),
 		})
 	default:
-		s.writeErr(w, badRequest("unknown format %q", format))
+		s.writeErr(w, r, badRequest("unknown format %q", format))
 	}
 }
 
@@ -303,6 +325,9 @@ type queryRequest struct {
 	// objects a degrade query tolerates (0 = engine default, -1 = unlimited).
 	OnError     string `json:"on_error"`
 	ErrorBudget int    `json:"error_budget"`
+	// Trace requests the per-query span timeline; the aggregated events
+	// come back in the response's stats.trace.
+	Trace bool `json:"trace"`
 }
 
 func (s *Server) parseJoin(r *http.Request) (*core.Dataset, *core.Dataset, core.QueryOptions, queryRequest, error) {
@@ -354,6 +379,7 @@ func options(req queryRequest) (core.QueryOptions, error) {
 		return q, badRequest("unknown on_error %q (want fail_fast or degrade)", req.OnError)
 	}
 	q.ErrorBudget = req.ErrorBudget
+	q.Trace = req.Trace
 	return q, nil
 }
 
@@ -378,25 +404,30 @@ type statsJSON struct {
 	// Partial-failure accounting (degrade policy). The response's pairs are
 	// the certain answer; uncertain lists relations a failure left
 	// unsettled (source -1 = unknown candidate set of that target) and
-	// degraded the skipped objects with their failures.
+	// degraded the skipped objects with their failures. The numeric
+	// counters serialize even at zero: dashboards and scrapers must be able
+	// to tell "zero failures" apart from "field absent in this version".
 	Uncertain       []core.Pair        `json:"uncertain,omitempty"`
 	UncertainIDs    []int64            `json:"uncertain_ids,omitempty"`
 	Degraded        []core.ObjectError `json:"degraded,omitempty"`
-	QuarantineSkips int64              `json:"quarantine_skips,omitempty"`
-	DecodeRetries   int64              `json:"decode_retries,omitempty"`
-	DecodeFailures  int64              `json:"decode_failures,omitempty"`
+	QuarantineSkips int64              `json:"quarantine_skips"`
+	DecodeRetries   int64              `json:"decode_retries"`
+	DecodeFailures  int64              `json:"decode_failures"`
+	// Trace carries the aggregated span timeline when the request set
+	// "trace": true.
+	Trace []obs.TraceEvent `json:"trace,omitempty"`
 }
 
 func statsOut(st *core.Stats) statsJSON {
 	return statsJSON{
-		ElapsedMS:     float64(st.Elapsed) / float64(time.Millisecond),
-		FilterMS:      float64(st.FilterTime) / float64(time.Millisecond),
-		DecodeMS:      float64(st.DecodeTime) / float64(time.Millisecond),
-		GeomMS:        float64(st.GeomTime) / float64(time.Millisecond),
-		Candidates:    st.Candidates,
-		Results:       st.Results,
-		Decodes:       st.Decodes,
-		CacheHits:     st.CacheHits,
+		ElapsedMS:       float64(st.Elapsed) / float64(time.Millisecond),
+		FilterMS:        float64(st.FilterTime) / float64(time.Millisecond),
+		DecodeMS:        float64(st.DecodeTime) / float64(time.Millisecond),
+		GeomMS:          float64(st.GeomTime) / float64(time.Millisecond),
+		Candidates:      st.Candidates,
+		Results:         st.Results,
+		Decodes:         st.Decodes,
+		CacheHits:       st.CacheHits,
 		WarmStarts:      st.WarmStarts,
 		RoundsApplied:   st.RoundsApplied,
 		RoundsSkipped:   st.RoundsSkipped,
@@ -408,18 +439,22 @@ func statsOut(st *core.Stats) statsJSON {
 		QuarantineSkips: st.QuarantineSkips,
 		DecodeRetries:   st.DecodeRetries,
 		DecodeFailures:  st.DecodeFailures,
+		Trace:           st.Trace,
 	}
 }
 
 func (s *Server) handleIntersect(w http.ResponseWriter, r *http.Request) {
 	target, source, q, _, err := s.parseJoin(r)
 	if err != nil {
-		s.writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	pairs, stats, err := s.eng.IntersectJoin(r.Context(), target, source, q)
+	if stats != nil {
+		s.noteQuery(r, "intersect", stats, err)
+	}
 	if err != nil {
-		s.writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	s.writeJSON(w, map[string]any{"pairs": pairs, "stats": statsOut(stats)})
@@ -428,16 +463,19 @@ func (s *Server) handleIntersect(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleWithin(w http.ResponseWriter, r *http.Request) {
 	target, source, q, req, err := s.parseJoin(r)
 	if err != nil {
-		s.writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	if req.Dist <= 0 {
-		s.writeErr(w, badRequest("dist must be positive"))
+		s.writeErr(w, r, badRequest("dist must be positive"))
 		return
 	}
 	pairs, stats, err := s.eng.WithinJoin(r.Context(), target, source, req.Dist, q)
+	if stats != nil {
+		s.noteQuery(r, "within", stats, err)
+	}
 	if err != nil {
-		s.writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	s.writeJSON(w, map[string]any{"pairs": pairs, "stats": statsOut(stats)})
@@ -446,12 +484,15 @@ func (s *Server) handleWithin(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleNN(w http.ResponseWriter, r *http.Request) {
 	target, source, q, _, err := s.parseJoin(r)
 	if err != nil {
-		s.writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	ns, stats, err := s.eng.KNNJoin(r.Context(), target, source, q)
+	if stats != nil {
+		s.noteQuery(r, "nn", stats, err)
+	}
 	if err != nil {
-		s.writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	s.writeJSON(w, map[string]any{"neighbors": ns, "stats": statsOut(stats)})
@@ -460,17 +501,17 @@ func (s *Server) handleNN(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
 	if err := decodeBody(r, &req); err != nil {
-		s.writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	d, ok := s.dataset(req.Dataset)
 	if !ok {
-		s.writeErr(w, notFound("dataset %q not loaded", req.Dataset))
+		s.writeErr(w, r, notFound("dataset %q not loaded", req.Dataset))
 		return
 	}
 	q, err := options(req)
 	if err != nil {
-		s.writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	box := geom.Box3{
@@ -478,12 +519,15 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		Max: geom.V(req.Max[0], req.Max[1], req.Max[2]),
 	}
 	if box.IsEmpty() {
-		s.writeErr(w, badRequest("empty query box"))
+		s.writeErr(w, r, badRequest("empty query box"))
 		return
 	}
 	ids, stats, err := s.eng.RangeQuery(r.Context(), d, box, q)
+	if stats != nil {
+		s.noteQuery(r, "range", stats, err)
+	}
 	if err != nil {
-		s.writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	s.writeJSON(w, map[string]any{"objects": ids, "stats": statsOut(stats)})
@@ -492,23 +536,26 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
 	if err := decodeBody(r, &req); err != nil {
-		s.writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	d, ok := s.dataset(req.Dataset)
 	if !ok {
-		s.writeErr(w, notFound("dataset %q not loaded", req.Dataset))
+		s.writeErr(w, r, notFound("dataset %q not loaded", req.Dataset))
 		return
 	}
 	q, err := options(req)
 	if err != nil {
-		s.writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	p := geom.V(req.Point[0], req.Point[1], req.Point[2])
 	ids, stats, err := s.eng.ContainingObjects(r.Context(), d, p, q)
+	if stats != nil {
+		s.noteQuery(r, "point", stats, err)
+	}
 	if err != nil {
-		s.writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	s.writeJSON(w, map[string]any{"objects": ids, "stats": statsOut(stats)})
