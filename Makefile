@@ -64,9 +64,12 @@ fuzz:
 
 # Seeded chaos campaign under the race detector: $(CHAOSTIME) of fresh-seed
 # iterations of TestChaosCampaignExtended (corrupt tiles + probabilistic
-# decode errors + decode panics; see internal/core/chaos_test.go).
+# decode errors + decode panics; see internal/core/chaos_test.go), then the
+# multi-shard campaign (shards killed/corrupted at the transport mid-query;
+# see internal/shard/chaos_test.go).
 chaos-short:
 	_3DPRO_CHAOS=$(CHAOSTIME) $(GO) test -race -run 'TestChaosCampaign' -count=1 ./internal/core
+	$(GO) test -race -run 'TestDeadShardsDegrade|TestRetryRecoversTransientFault|TestHedgedRequestBeatsStraggler|TestBreakerOpensAndRecovers|TestRecvCorruptionIsTransportError|TestAllShardsDead' -count=1 ./internal/shard
 
 ci: vet lint staticcheck govulncheck race fuzz-short chaos-short
 

@@ -21,6 +21,15 @@
 // -faults or the _3DPRO_FAULTS environment variable (see
 // internal/faultinject).
 //
+// -shards N (N > 1) serves through the degrade-aware sharded tier
+// (internal/shard): objects are space-partitioned across N in-process
+// engine shards and every query is scatter-gathered with per-shard
+// retries (-shard-retries, -shard-retry-backoff), optional hedging
+// (-shard-hedge-after), per-attempt deadlines (-shard-attempt-timeout),
+// and a per-shard circuit breaker (-shard-breaker-threshold,
+// -shard-breaker-cooldown). A dead shard degrades Degrade-policy queries
+// (its objects are reported uncertain) instead of failing them.
+//
 // See internal/server for the API.
 package main
 
@@ -39,6 +48,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/faultinject"
 	"repro/internal/server"
+	"repro/internal/shard"
 	"repro/internal/storage"
 )
 
@@ -59,6 +69,13 @@ func main() {
 	salvage := flag.Bool("salvage", false, "load -dataset directories in salvage mode: skip and quarantine damaged objects instead of refusing the dataset")
 	quarThreshold := flag.Int("quarantine-threshold", 0, "decode failures before an object is quarantined (default 3)")
 	quarCooldown := flag.Duration("quarantine-cooldown", 0, "how long a quarantined object stays blocked before a probe is admitted (default 30s)")
+	shards := flag.Int("shards", 1, "serve through N in-process shards with a degrade-aware coordinator (1 = single engine)")
+	shardRetries := flag.Int("shard-retries", 0, "transport retries per shard call (default 2, negative disables)")
+	shardBackoff := flag.Duration("shard-retry-backoff", 0, "initial retry backoff, doubling with jitter (default 5ms)")
+	shardHedgeAfter := flag.Duration("shard-hedge-after", 0, "hedge a shard call with a second attempt after this delay (0 = off)")
+	shardAttemptTimeout := flag.Duration("shard-attempt-timeout", 0, "per-attempt shard deadline, always capped by the query deadline (0 = query deadline only)")
+	shardBreakerThreshold := flag.Int("shard-breaker-threshold", 0, "consecutive failures before a shard's circuit breaker opens (default 3)")
+	shardBreakerCooldown := flag.Duration("shard-breaker-cooldown", 0, "how long an open shard breaker blocks calls before a probe (default 30s)")
 	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (exposes memory contents; keep off on untrusted networks)")
 	logFormat := flag.String("log-format", "text", "structured access-log format: text or json")
 	flag.Var(&datasets, "dataset", "name=dir of a persisted dataset (repeatable)")
@@ -92,12 +109,32 @@ func main() {
 		cfg.QueryTimeout = -1 // flag 0 = disabled; Config 0 = default
 	}
 
-	eng := core.NewEngine(core.EngineOptions{
+	engOpts := core.EngineOptions{
 		QuarantineThreshold: *quarThreshold,
 		QuarantineCooldown:  *quarCooldown,
-	})
+	}
+	// The loader engine builds/loads datasets; in sharded mode the queries
+	// run on the coordinator's per-shard engines instead.
+	eng := core.NewEngine(engOpts)
 	defer eng.Close()
-	srv := server.NewWithConfig(eng, cfg)
+
+	var srv *server.Server
+	if *shards > 1 {
+		coord := shard.NewInProcess(engOpts, shard.Options{
+			Shards:           *shards,
+			Retries:          *shardRetries,
+			RetryBackoff:     *shardBackoff,
+			HedgeAfter:       *shardHedgeAfter,
+			AttemptTimeout:   *shardAttemptTimeout,
+			BreakerThreshold: *shardBreakerThreshold,
+			BreakerCooldown:  *shardBreakerCooldown,
+		})
+		defer coord.Close()
+		srv = server.NewSharded(coord, cfg)
+		log.Printf("sharded serving enabled: %d shards", *shards)
+	} else {
+		srv = server.NewWithConfig(eng, cfg)
+	}
 
 	loaded := 0
 	for _, spec := range datasets {
@@ -127,7 +164,9 @@ func main() {
 			}
 		}
 		d.Name = name
-		srv.AddDataset(d)
+		if err := srv.AddDataset(d); err != nil {
+			log.Fatalf("registering %s: %v", name, err)
+		}
 		log.Printf("loaded dataset %q: %d objects, %d LODs", name, d.Len(), d.MaxLOD()+1)
 		loaded++
 	}
@@ -144,8 +183,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		srv.AddDataset(dn)
-		srv.AddDataset(dv)
+		if err := srv.AddDataset(dn); err != nil {
+			log.Fatal(err)
+		}
+		if err := srv.AddDataset(dv); err != nil {
+			log.Fatal(err)
+		}
 		log.Printf("demo tissue loaded: %d nuclei, %d vessels", dn.Len(), dv.Len())
 		loaded += 2
 	}

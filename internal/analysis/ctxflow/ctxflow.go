@@ -13,6 +13,11 @@
 //     context.Background() }`;
 //   - an http.Handler-shaped function (has an *http.Request parameter)
 //     calls context.Background()/TODO() instead of r.Context().
+//
+// internal/shard is in scope too: the coordinator's per-shard attempt
+// contexts must derive from the request context, or shard calls would
+// outlive canceled queries and per-shard deadlines would stop capping at
+// the query deadline.
 package ctxflow
 
 import (
@@ -26,13 +31,14 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "ctxflow",
 	Doc: "forbid dropping or replacing an incoming context.Context on the query path\n\n" +
-		"In internal/core and internal/server, functions that receive a context must\n" +
-		"use it, must not rebase work onto context.Background()/context.TODO() (except\n" +
-		"the nil-guard idiom), and request handlers must derive from r.Context().",
+		"In internal/core, internal/server, and internal/shard, functions that receive\n" +
+		"a context must use it, must not rebase work onto context.Background()/\n" +
+		"context.TODO() (except the nil-guard idiom), and request handlers must derive\n" +
+		"from r.Context().",
 	Run: run,
 }
 
-var scopePackages = []string{"internal/core", "internal/server"}
+var scopePackages = []string{"internal/core", "internal/server", "internal/shard"}
 
 func run(pass *analysis.Pass) error {
 	if !analysis.PathHasAnySuffix(pass.PkgPath, scopePackages...) {

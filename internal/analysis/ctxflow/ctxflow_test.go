@@ -11,5 +11,6 @@ func TestCtxFlow(t *testing.T) {
 	analysistest.Run(t, "testdata", ctxflow.Analyzer,
 		"b/internal/core",
 		"b/internal/server",
+		"b/internal/shard",
 	)
 }

@@ -1,0 +1,60 @@
+// Package shard is the ctxflow fixture for the sharded coordinator: every
+// per-shard attempt must run under a context derived from the request
+// context, or shard calls outlive canceled queries.
+package shard
+
+import (
+	"context"
+	"time"
+)
+
+type request struct{ shard int }
+
+type transport interface {
+	send(ctx context.Context, shard int, req *request) error
+}
+
+// scatterGood fans out under child contexts derived from the request
+// context, with the sanctioned nil-guard: no finding.
+func scatterGood(ctx context.Context, tr transport, reqs []*request) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	for _, r := range reqs {
+		if err := tr.send(ctx, r.shard, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// attemptGood derives the per-attempt deadline from the query context, so
+// the query deadline still caps the attempt: no finding.
+func attemptGood(ctx context.Context, tr transport, r *request, timeout time.Duration) error {
+	actx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	return tr.send(actx, r.shard, r)
+}
+
+// attemptDetached rebases the shard call onto a fresh root: the attempt
+// would keep running after the query is canceled.
+func attemptDetached(ctx context.Context, tr transport, r *request, timeout time.Duration) error {
+	_ = ctx.Err()
+	actx, cancel := context.WithTimeout(context.Background(), timeout) // want "replaces its incoming context with context.Background"
+	defer cancel()
+	return tr.send(actx, r.shard, r)
+}
+
+// retryDropped never consults the request context between attempts, so a
+// canceled query would retry forever.
+func retryDropped(ctx context.Context, tr transport, r *request, attempts int) error { // want "never uses its incoming context.Context"
+	var last error
+	for i := 0; i < attempts; i++ {
+		if last = tr.send(context.TODO(), r.shard, r); last == nil { // want "replaces its incoming context with context.TODO"
+			return nil
+		}
+	}
+	return last
+}

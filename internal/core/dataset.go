@@ -179,6 +179,33 @@ func (e *Engine) BuildDataset(name string, meshes []*mesh.Mesh, opts DatasetOpti
 	return d, nil
 }
 
+// AssembleDataset builds a queryable dataset directly from an existing
+// tileset: object IDs are preserved verbatim (nil holes allowed, as after a
+// salvage load), nothing is re-encoded, and only the whole-object R-tree is
+// rebuilt. Skeleton partitioning is not recomputed — the Partition
+// accelerators transparently fall back to the whole-object tree — keeping
+// assembly cheap enough for the sharded serving tier, which assembles one
+// sub-tileset per shard (and per-query loan sets) out of blobs that already
+// exist in memory.
+func (e *Engine) AssembleDataset(name string, ts *storage.Tileset) (*Dataset, error) {
+	d := &Dataset{Name: name, seq: e.nextSeq.Add(1), Tileset: ts, maxLOD: -1}
+	var entries []rtree.Entry
+	for _, o := range ts.Objects {
+		if o == nil {
+			continue
+		}
+		if d.maxLOD < 0 || o.Comp.MaxLOD() < d.maxLOD {
+			d.maxLOD = o.Comp.MaxLOD()
+		}
+		entries = append(entries, rtree.Entry{Box: o.MBB(), ID: o.ID})
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("core: dataset %q has no objects", name)
+	}
+	d.tree = rtree.BulkLoad(entries)
+	return d, nil
+}
+
 // filterTree returns the R-tree the filtering step should use for the given
 // accelerator: the sub-object tree for partition-based refinement when it
 // exists, otherwise the whole-object tree.

@@ -75,6 +75,88 @@ type Stats struct {
 	// (phase, LOD), with counts and first/last/total activity offsets —
 	// recorded only when QueryOptions.Trace was set.
 	Trace []obs.TraceEvent
+
+	// Shards summarizes the per-shard outcomes of a query the sharded
+	// coordinator (internal/shard) scatter-gathered; nil for single-engine
+	// queries. The coordinator's counters above are exactly the sum of the
+	// per-shard Stats referenced here.
+	Shards []ShardStat
+}
+
+// ShardStat is one shard's outcome within a coordinated query.
+type ShardStat struct {
+	// Shard is the shard index.
+	Shard int `json:"shard"`
+	// Status is "ok", "error" (all attempts failed), "open" (the shard's
+	// circuit breaker refused the call), or "skipped" (the shard holds no
+	// objects relevant to the query and was never called).
+	Status string `json:"status"`
+	// Attempts counts transport attempts made (retries and hedges
+	// included); Hedged reports whether a hedge attempt was launched, and
+	// HedgeWon whether the hedge produced the accepted response.
+	Attempts int  `json:"attempts"`
+	Hedged   bool `json:"hedged,omitempty"`
+	HedgeWon bool `json:"hedge_won,omitempty"`
+	// Err is the final error of a failed shard call ("" on success).
+	Err string `json:"error,omitempty"`
+	// Elapsed is the shard call's wall-clock time as seen by the
+	// coordinator (queueing, retries, and transport included).
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// Stats is the shard's own execution statistics (nil when the shard
+	// never produced a response). Σ over non-nil per-shard Stats equals
+	// the coordinator's merged counters.
+	Stats *Stats `json:"-"`
+}
+
+// Merge folds other into s: phase times and counters add, the per-LOD
+// slices add element-wise (growing s as needed, so an early-abort shard
+// whose slices are short — or nil — never truncates a survivor's), and the
+// degradation and shard lists append. Elapsed takes the maximum: per-shard
+// wall clocks overlap, so summing them would double-count; coordinators
+// overwrite it with their own wall clock anyway. Merging nil (a shard that
+// died before producing statistics) is a no-op.
+//
+// Merge is commutative and associative up to list order: every numeric
+// field is order-independent, and the Uncertain/UncertainIDs/Degraded/
+// Shards/Trace lists hold the same elements in append order (callers that
+// need a canonical order sort after the final merge).
+func (s *Stats) Merge(other *Stats) {
+	if s == nil || other == nil {
+		return
+	}
+	if other.Elapsed > s.Elapsed {
+		s.Elapsed = other.Elapsed
+	}
+	s.FilterTime += other.FilterTime
+	s.DecodeTime += other.DecodeTime
+	s.GeomTime += other.GeomTime
+	s.Candidates += other.Candidates
+	s.Results += other.Results
+	s.Decodes += other.Decodes
+	s.CacheHits += other.CacheHits
+	s.WarmStarts += other.WarmStarts
+	s.RoundsApplied += other.RoundsApplied
+	s.RoundsSkipped += other.RoundsSkipped
+	s.QuarantineSkips += other.QuarantineSkips
+	s.DecodeRetries += other.DecodeRetries
+	s.DecodeFailures += other.DecodeFailures
+	if n := len(other.PairsEvaluated); n > len(s.PairsEvaluated) {
+		s.PairsEvaluated = append(s.PairsEvaluated, make([]int64, n-len(s.PairsEvaluated))...)
+	}
+	for i, v := range other.PairsEvaluated {
+		s.PairsEvaluated[i] += v
+	}
+	if n := len(other.PairsPruned); n > len(s.PairsPruned) {
+		s.PairsPruned = append(s.PairsPruned, make([]int64, n-len(s.PairsPruned))...)
+	}
+	for i, v := range other.PairsPruned {
+		s.PairsPruned[i] += v
+	}
+	s.Uncertain = append(s.Uncertain, other.Uncertain...)
+	s.UncertainIDs = append(s.UncertainIDs, other.UncertainIDs...)
+	s.Degraded = append(s.Degraded, other.Degraded...)
+	s.Trace = append(s.Trace, other.Trace...)
+	s.Shards = append(s.Shards, other.Shards...)
 }
 
 // PrunedFraction returns PairsPruned[l] / PairsEvaluated[l] (0 when no

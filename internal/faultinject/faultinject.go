@@ -13,6 +13,9 @@
 //	core.decode   — the engine's per-object decode (Fire: error/panic/sleep)
 //	ppvp.decode   — progressive mesh decoding (Fire: error/panic/sleep)
 //	storage.tile  — tile file parsing (Corrupt: bit-flips the bytes)
+//	shard.send    — coordinator→shard request dispatch (error/panic/sleep)
+//	shard.recv    — shard→coordinator response path (error/panic/sleep and
+//	                corrupt, which mangles the encoded response)
 //
 // Spec strings (_3DPRO_FAULTS, -faults) are comma-separated point=mode items:
 //
@@ -47,6 +50,13 @@ const (
 	PointCoreDecode  = "core.decode"
 	PointPPVPDecode  = "ppvp.decode"
 	PointStorageTile = "storage.tile"
+	// Shard-transport fault points (internal/shard): send fires before a
+	// request reaches a shard (error/panic/sleep kill or delay the call);
+	// recv fires on the response path and additionally supports corrupt,
+	// which mangles the encoded response so it fails integrity checking —
+	// the wire-level equivalent of a flaky link.
+	PointShardSend = "shard.send"
+	PointShardRecv = "shard.recv"
 )
 
 // EnvVar is the environment variable parsed at process start.
@@ -183,6 +193,55 @@ func Fire(point string) error {
 	return f.Err
 }
 
+// Armed reports whether a fault is currently armed at point. Callers that
+// must pay real work just to give a fault something to chew on (e.g. the
+// shard transport encoding a response so corrupt has bytes to flip) check
+// this first and skip the work in the common unarmed case. The check is
+// advisory: a concurrent Disarm can win the race, in which case the
+// subsequent Fire/FireData is simply a no-op.
+func Armed(point string) bool {
+	if armed.Load() == 0 {
+		return false
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	_, ok := points[point]
+	return ok
+}
+
+// FireData combines Fire and Corrupt for points where both error-style and
+// data-corruption faults make sense (the shard transport's receive path):
+// it sleeps Delay, runs Hook, panics if Panic is set, returns Err if set,
+// and otherwise passes data through a Corrupt fault's bit-flipper. With
+// nothing armed it returns (data, nil) after a single atomic load.
+func FireData(point string, data []byte) ([]byte, error) {
+	if armed.Load() == 0 {
+		return data, nil
+	}
+	f, ok := take(point)
+	if !ok {
+		return data, nil
+	}
+	if f.Delay > 0 {
+		time.Sleep(f.Delay)
+	}
+	if f.Hook != nil {
+		if err := f.Hook(); err != nil {
+			return data, err
+		}
+	}
+	if f.Panic != "" {
+		panic("faultinject: " + f.Panic)
+	}
+	if f.Err != nil {
+		return data, f.Err
+	}
+	if !f.Corrupt || len(data) == 0 {
+		return data, nil
+	}
+	return flipBytes(data), nil
+}
+
 // Corrupt passes data through the fault armed at point: a Corrupt fault
 // returns a bit-flipped copy (the input is never modified); Panic and Delay
 // apply as in Fire. With nothing armed it returns data untouched after a
@@ -204,9 +263,14 @@ func Corrupt(point string, data []byte) []byte {
 	if !f.Corrupt || len(data) == 0 {
 		return data
 	}
+	return flipBytes(data)
+}
+
+// flipBytes returns a bit-flipped copy of data (the input is never
+// modified). Deterministic damage: flip bytes at a few interior offsets,
+// enough to defeat any checksum without depending on a RNG.
+func flipBytes(data []byte) []byte {
 	out := append([]byte(nil), data...)
-	// Deterministic damage: flip bytes at a few interior offsets, enough to
-	// defeat any checksum without depending on a RNG.
 	for _, at := range []int{len(out) / 4, len(out) / 2, 3 * len(out) / 4} {
 		out[at] ^= 0x5A
 	}

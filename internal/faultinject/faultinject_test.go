@@ -253,3 +253,102 @@ func TestCorruptWithNonCorruptFault(t *testing.T) {
 		t.Fatalf("sleep-mode fault corrupted data: %q", out)
 	}
 }
+
+func TestArmed(t *testing.T) {
+	t.Cleanup(Reset)
+	if Armed("shard.recv") {
+		t.Fatal("armed with nothing installed")
+	}
+	Arm(PointShardRecv, Fault{Corrupt: true})
+	if !Armed(PointShardRecv) {
+		t.Fatal("not armed after Arm")
+	}
+	if Armed(PointShardSend) {
+		t.Fatal("neighboring point reported armed")
+	}
+	Disarm(PointShardRecv)
+	if Armed(PointShardRecv) {
+		t.Fatal("still armed after Disarm")
+	}
+}
+
+func TestFireDataDisabledIsNoop(t *testing.T) {
+	Reset()
+	data := []byte("response bytes")
+	out, err := FireData(PointShardRecv, data)
+	if err != nil {
+		t.Fatalf("FireData with nothing armed: %v", err)
+	}
+	if !bytes.Equal(out, data) {
+		t.Fatalf("FireData with nothing armed changed data: %q", out)
+	}
+}
+
+func TestFireDataErrorMode(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm(PointShardRecv, Fault{Err: errors.New("link down"), Times: 1})
+	if _, err := FireData(PointShardRecv, []byte("x")); err == nil || err.Error() != "link down" {
+		t.Fatalf("err = %v, want link down", err)
+	}
+	// Times budget consumed: the next call passes through.
+	out, err := FireData(PointShardRecv, []byte("x"))
+	if err != nil || string(out) != "x" {
+		t.Fatalf("after self-disarm: %q, %v", out, err)
+	}
+}
+
+func TestFireDataCorruptMode(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm(PointShardRecv, Fault{Corrupt: true})
+	data := []byte("a JSON-encoded shard response travelling the wire")
+	orig := append([]byte(nil), data...)
+	out, err := FireData(PointShardRecv, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(out, data) {
+		t.Fatal("data not corrupted")
+	}
+	if !bytes.Equal(data, orig) {
+		t.Fatal("input modified in place")
+	}
+	// Same damage as Corrupt: deterministic offsets, so the two entry
+	// points are interchangeable for a given payload.
+	if want := Corrupt(PointShardRecv, orig); !bytes.Equal(out, want) {
+		t.Fatalf("FireData damage %q differs from Corrupt damage %q", out, want)
+	}
+}
+
+func TestFireDataPanicMode(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm(PointShardSend, Fault{Panic: "wire fire", Times: 1})
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	FireData(PointShardSend, []byte("x"))
+}
+
+func TestParseShardPoints(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Parse("shard.send=times:2:error:shard unreachable,shard.recv=corrupt"); err != nil {
+		t.Fatal(err)
+	}
+	if !Armed(PointShardSend) || !Armed(PointShardRecv) {
+		t.Fatal("shard points not armed by Parse")
+	}
+	if err := Fire(PointShardSend); !errors.Is(err, ErrInjected) {
+		t.Fatalf("shard.send: %v", err)
+	}
+	if !strings.Contains(Fire(PointShardSend).Error(), "shard unreachable") {
+		t.Fatal("error message lost")
+	}
+	out, err := FireData(PointShardRecv, []byte("payload bytes here"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(out, []byte("payload bytes here")) {
+		t.Fatal("recv corrupt did not fire")
+	}
+}

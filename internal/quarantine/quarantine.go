@@ -1,8 +1,13 @@
-// Package quarantine implements a per-object circuit breaker for the query
-// engine's partial-failure tolerance: an object whose decode keeps failing
-// (corrupt blob, geometry that panics the evaluator) is tripped open so
-// later queries skip it — with a recorded reason — instead of burning
-// retries or failing whole joins on it forever.
+// Package quarantine implements circuit breakers for the engine's
+// partial-failure tolerance. The original (and still primary) instantiation
+// is the per-object registry: an object whose decode keeps failing (corrupt
+// blob, geometry that panics the evaluator) is tripped open so later queries
+// skip it — with a recorded reason — instead of burning retries or failing
+// whole joins on it forever. The breaker core is generic over its key, so
+// the same lifecycle also guards coarser failure domains: the sharded
+// serving tier (internal/shard) keys a Breaker[int] by shard index, turning
+// a dead or flapping shard into a degraded answer rather than a failed
+// query.
 //
 // The lifecycle mirrors a classic circuit breaker:
 //
@@ -11,9 +16,8 @@
 //	HalfOpen  probation; exactly one caller is let through as a probe —
 //	          success closes the breaker, failure re-opens it
 //
-// The registry is engine-wide and safe for concurrent use. The untracked
-// fast path (no object has ever failed) is a single atomic load, so healthy
-// workloads pay nothing.
+// Breakers are safe for concurrent use. The untracked fast path (no key has
+// ever failed) is a single atomic load, so healthy workloads pay nothing.
 package quarantine
 
 import (
@@ -30,7 +34,7 @@ type Key struct {
 	Object  int64
 }
 
-// State is the breaker state of one object.
+// State is the breaker state of one key.
 type State int
 
 const (
@@ -52,10 +56,10 @@ func (s State) String() string {
 
 // Options tunes the breaker.
 type Options struct {
-	// Threshold is the failure count that trips an object open
+	// Threshold is the failure count that trips a key open
 	// (default 3). Failures reset on any success.
 	Threshold int
-	// Cooldown is how long an open object stays fully blocked before a
+	// Cooldown is how long an open key stays fully blocked before a
 	// half-open probe is allowed (default 30s).
 	Cooldown time.Duration
 	// Now overrides the clock (tests); nil means time.Now.
@@ -74,7 +78,7 @@ func (o *Options) setDefaults() {
 	}
 }
 
-// Entry is a snapshot of one tracked object.
+// Entry is a snapshot of one tracked object of the object Registry.
 type Entry struct {
 	Key         Key       `json:"-"`
 	Dataset     int64     `json:"dataset_seq"`
@@ -86,14 +90,24 @@ type Entry struct {
 	LastFailure time.Time `json:"last_failure,omitempty"`
 }
 
-// Stats aggregates registry counters. The server samples it at scrape time
+// EntryOf is a snapshot of one tracked key of a generic Breaker.
+type EntryOf[K comparable] struct {
+	Key         K
+	State       State
+	Failures    int
+	Reason      string
+	TrippedAt   time.Time
+	LastFailure time.Time
+}
+
+// Stats aggregates breaker counters. The server samples it at scrape time
 // to back the threedpro_quarantine_* metric families, so /metrics, /statusz,
 // and this snapshot always agree.
 type Stats struct {
-	// Open and HalfOpen count objects currently in those states.
+	// Open and HalfOpen count keys currently in those states.
 	Open     int `json:"open"`
 	HalfOpen int `json:"half_open"`
-	// Tracked counts all objects with breaker records (including closed
+	// Tracked counts all keys with breaker records (including closed
 	// ones that have failed but not tripped).
 	Tracked int `json:"tracked"`
 	// Failures counts every recorded failure; Trips every closed→open
@@ -103,7 +117,7 @@ type Stats struct {
 	Trips      int64 `json:"trips"`
 	Probes     int64 `json:"probes"`
 	Reinstated int64 `json:"reinstated"`
-	// Skips counts Allow calls rejected because the object was open.
+	// Skips counts Allow calls rejected because the key was open.
 	Skips int64 `json:"skips"`
 }
 
@@ -116,16 +130,18 @@ type object struct {
 	probing     bool // a half-open probe is in flight
 }
 
-// Registry is the engine-wide breaker table.
-type Registry struct {
+// Breaker is a generic circuit-breaker table keyed by any comparable
+// failure-domain identifier: quarantine.Key for per-object decode health,
+// a shard index for the sharded serving tier.
+type Breaker[K comparable] struct {
 	opts Options
 
-	// tracked is the fast-path gate: zero means no object has ever
+	// tracked is the fast-path gate: zero means no key has ever
 	// failed, so Allow/Success return without locking.
 	tracked atomic.Int64
 
 	mu   sync.Mutex
-	objs map[Key]*object
+	objs map[K]*object
 
 	failures   int64
 	trips      int64
@@ -134,55 +150,77 @@ type Registry struct {
 	skips      atomic.Int64
 }
 
-// New returns a registry with the given options.
-func New(opts Options) *Registry {
-	opts.setDefaults()
-	return &Registry{opts: opts, objs: make(map[Key]*object)}
+// NewBreaker returns a generic breaker with the given options.
+func NewBreaker[K comparable](opts Options) *Breaker[K] {
+	b := &Breaker[K]{}
+	b.init(opts)
+	return b
 }
 
-// Allow reports whether the object may be processed. Open objects are
-// blocked until their cooldown elapses, at which point exactly one caller
-// is admitted as a half-open probe; a Success or Failure from that probe
+// init prepares a zero Breaker in place (the value may be embedded, so the
+// constructor cannot return it by copy once the mutex is live).
+func (b *Breaker[K]) init(opts Options) {
+	opts.setDefaults()
+	b.opts = opts
+	b.objs = make(map[K]*object)
+}
+
+// Registry is the engine-wide per-object breaker table (the original,
+// object-keyed instantiation of Breaker).
+type Registry struct {
+	Breaker[Key]
+}
+
+// New returns an object registry with the given options.
+func New(opts Options) *Registry {
+	r := &Registry{}
+	r.init(opts)
+	return r
+}
+
+// Allow reports whether the key may be processed. Open keys are blocked
+// until their cooldown elapses, at which point exactly one caller is
+// admitted as a half-open probe; a Success or Failure from that probe
 // settles the breaker.
-func (r *Registry) Allow(k Key) bool {
-	if r.tracked.Load() == 0 {
+func (b *Breaker[K]) Allow(k K) bool {
+	if b.tracked.Load() == 0 {
 		return true
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	o, ok := r.objs[k]
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	o, ok := b.objs[k]
 	if !ok || o.state == Closed {
 		return true
 	}
-	now := r.opts.Now()
-	if o.state == Open && now.Sub(o.trippedAt) >= r.opts.Cooldown {
+	now := b.opts.Now()
+	if o.state == Open && now.Sub(o.trippedAt) >= b.opts.Cooldown {
 		o.state = HalfOpen
 		o.probing = false
 	}
 	if o.state == HalfOpen && !o.probing {
 		o.probing = true
-		r.probes++
+		b.probes++
 		return true
 	}
-	r.skips.Add(1)
+	b.skips.Add(1)
 	return false
 }
 
-// Failure records one failure of the object, tripping it open when the
+// Failure records one failure of the key, tripping it open when the
 // threshold is reached (or immediately when it was half-open). It returns
-// true when this call transitioned the object to Open.
-func (r *Registry) Failure(k Key, reason string) bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	o, ok := r.objs[k]
+// true when this call transitioned the key to Open.
+func (b *Breaker[K]) Failure(k K, reason string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	o, ok := b.objs[k]
 	if !ok {
 		o = &object{}
-		r.objs[k] = o
-		r.tracked.Add(1)
+		b.objs[k] = o
+		b.tracked.Add(1)
 	}
-	r.failures++
+	b.failures++
 	o.failures++
-	o.lastFailure = r.opts.Now()
+	o.lastFailure = b.opts.Now()
 	if o.reason == "" || o.state != Open {
 		o.reason = reason
 	}
@@ -192,63 +230,63 @@ func (r *Registry) Failure(k Key, reason string) bool {
 		o.state = Open
 		o.probing = false
 		o.trippedAt = o.lastFailure
-		r.trips++
+		b.trips++
 		return true
 	case Closed:
-		if o.failures >= r.opts.Threshold {
+		if o.failures >= b.opts.Threshold {
 			o.state = Open
 			o.trippedAt = o.lastFailure
-			r.trips++
+			b.trips++
 			return true
 		}
 	}
 	return false
 }
 
-// Trip quarantines the object immediately (used for objects dropped during
+// Trip quarantines the key immediately (used for objects dropped during
 // salvage loading, where the damage is already proven).
-func (r *Registry) Trip(k Key, reason string) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	o, ok := r.objs[k]
+func (b *Breaker[K]) Trip(k K, reason string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	o, ok := b.objs[k]
 	if !ok {
 		o = &object{}
-		r.objs[k] = o
-		r.tracked.Add(1)
+		b.objs[k] = o
+		b.tracked.Add(1)
 	}
 	if o.state != Open {
-		r.trips++
+		b.trips++
 	}
 	o.state = Open
 	o.probing = false
-	o.failures = max(o.failures, r.opts.Threshold)
+	o.failures = max(o.failures, b.opts.Threshold)
 	o.reason = reason
-	o.trippedAt = r.opts.Now()
+	o.trippedAt = b.opts.Now()
 	o.lastFailure = o.trippedAt
 }
 
 // Success records a healthy interaction: a successful half-open probe
-// closes the breaker; a success on a closed object resets its failure
-// count. Untracked objects return on the atomic fast path.
-func (r *Registry) Success(k Key) {
-	if r.tracked.Load() == 0 {
+// closes the breaker; a success on a closed key resets its failure
+// count. Untracked keys return on the atomic fast path.
+func (b *Breaker[K]) Success(k K) {
+	if b.tracked.Load() == 0 {
 		return
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	o, ok := r.objs[k]
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	o, ok := b.objs[k]
 	if !ok {
 		return
 	}
 	switch o.state {
 	case HalfOpen:
-		r.reinstated++
+		b.reinstated++
 		fallthrough
 	case Closed:
 		// Fully healthy again: forget the record so the fast path can
-		// recover once every tracked object heals.
-		delete(r.objs, k)
-		r.tracked.Add(-1)
+		// recover once every tracked key heals.
+		delete(b.objs, k)
+		b.tracked.Add(-1)
 	case Open:
 		// A success while open can only come from a caller that was
 		// admitted before the trip; the breaker stays open.
@@ -256,40 +294,59 @@ func (r *Registry) Success(k Key) {
 }
 
 // Release cancels an in-flight half-open probe without a verdict (the
-// caller was interrupted — query cancelled — before the object could prove
-// or disprove itself). The next Allow re-admits a probe. No-op for objects
+// caller was interrupted — query cancelled — before the key could prove
+// or disprove itself). The next Allow re-admits a probe. No-op for keys
 // in any other state.
-func (r *Registry) Release(k Key) {
-	if r.tracked.Load() == 0 {
+func (b *Breaker[K]) Release(k K) {
+	if b.tracked.Load() == 0 {
 		return
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if o, ok := r.objs[k]; ok && o.state == HalfOpen {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if o, ok := b.objs[k]; ok && o.state == HalfOpen {
 		o.probing = false
 	}
 }
 
-// Quarantined reports whether the object is currently open or half-open.
-func (r *Registry) Quarantined(k Key) bool {
-	if r.tracked.Load() == 0 {
+// Quarantined reports whether the key is currently open or half-open.
+func (b *Breaker[K]) Quarantined(k K) bool {
+	if b.tracked.Load() == 0 {
 		return false
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	o, ok := r.objs[k]
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	o, ok := b.objs[k]
 	return ok && o.state != Closed
 }
 
-// Len returns the number of objects currently open or half-open.
-func (r *Registry) Len() int {
-	if r.tracked.Load() == 0 {
+// State returns the key's current breaker state (Closed for untracked
+// keys), applying the same cooldown transition Allow would: an open key
+// whose cooldown has elapsed reports HalfOpen.
+func (b *Breaker[K]) State(k K) State {
+	if b.tracked.Load() == 0 {
+		return Closed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	o, ok := b.objs[k]
+	if !ok {
+		return Closed
+	}
+	if o.state == Open && b.opts.Now().Sub(o.trippedAt) >= b.opts.Cooldown {
+		return HalfOpen
+	}
+	return o.state
+}
+
+// Len returns the number of keys currently open or half-open.
+func (b *Breaker[K]) Len() int {
+	if b.tracked.Load() == 0 {
 		return 0
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	n := 0
-	for _, o := range r.objs {
+	for _, o := range b.objs {
 		if o.state != Closed {
 			n++
 		}
@@ -297,18 +354,32 @@ func (r *Registry) Len() int {
 	return n
 }
 
-// Snapshot returns every tracked object, ordered by (dataset, object).
-func (r *Registry) Snapshot() []Entry {
-	r.mu.Lock()
-	out := make([]Entry, 0, len(r.objs))
-	for k, o := range r.objs {
-		out = append(out, Entry{
-			Key: k, Dataset: k.Dataset, Object: k.Object,
-			State: o.state.String(), Failures: o.failures, Reason: o.reason,
+// Entries returns every tracked key's record, in map order: generic
+// breakers cannot order arbitrary keys, so callers sort.
+func (b *Breaker[K]) Entries() []EntryOf[K] {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]EntryOf[K], 0, len(b.objs))
+	for k, o := range b.objs {
+		out = append(out, EntryOf[K]{
+			Key: k, State: o.state, Failures: o.failures, Reason: o.reason,
 			TrippedAt: o.trippedAt, LastFailure: o.lastFailure,
 		})
 	}
-	r.mu.Unlock()
+	return out
+}
+
+// Snapshot returns every tracked object, ordered by (dataset, object).
+func (r *Registry) Snapshot() []Entry {
+	raw := r.Entries()
+	out := make([]Entry, len(raw))
+	for i, e := range raw {
+		out[i] = Entry{
+			Key: e.Key, Dataset: e.Key.Dataset, Object: e.Key.Object,
+			State: e.State.String(), Failures: e.Failures, Reason: e.Reason,
+			TrippedAt: e.TrippedAt, LastFailure: e.LastFailure,
+		}
+	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Key.Dataset != out[j].Key.Dataset {
 			return out[i].Key.Dataset < out[j].Key.Dataset
@@ -319,16 +390,16 @@ func (r *Registry) Snapshot() []Entry {
 }
 
 // Stats returns a snapshot of the counters.
-func (r *Registry) Stats() Stats {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+func (b *Breaker[K]) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	st := Stats{
-		Tracked:  len(r.objs),
-		Failures: r.failures, Trips: r.trips,
-		Probes: r.probes, Reinstated: r.reinstated,
-		Skips: r.skips.Load(),
+		Tracked:  len(b.objs),
+		Failures: b.failures, Trips: b.trips,
+		Probes: b.probes, Reinstated: b.reinstated,
+		Skips: b.skips.Load(),
 	}
-	for _, o := range r.objs {
+	for _, o := range b.objs {
 		switch o.state {
 		case Open:
 			st.Open++
@@ -339,12 +410,12 @@ func (r *Registry) Stats() Stats {
 	return st
 }
 
-// Reset forgets every tracked object (counters included).
-func (r *Registry) Reset() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.tracked.Store(0)
-	r.objs = make(map[Key]*object)
-	r.failures, r.trips, r.probes, r.reinstated = 0, 0, 0, 0
-	r.skips.Store(0)
+// Reset forgets every tracked key (counters included).
+func (b *Breaker[K]) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tracked.Store(0)
+	b.objs = make(map[K]*object)
+	b.failures, b.trips, b.probes, b.reinstated = 0, 0, 0, 0
+	b.skips.Store(0)
 }

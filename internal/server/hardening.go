@@ -76,9 +76,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // handleReadyz reports whether the server should receive traffic: it is not
 // shutting down and has at least one dataset loaded. A non-empty quarantine
-// keeps the server in rotation (degraded beats dead — Degrade-policy queries
-// still answer with certain results) but the body says so, so operators and
-// probes that scrape the text can tell the states apart.
+// — or, in sharded mode, an open shard breaker — keeps the server in
+// rotation (degraded beats dead — Degrade-policy queries still answer with
+// certain results) but the body says so, so operators and probes that
+// scrape the text can tell the states apart.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	loaded := len(s.datasets)
@@ -93,9 +94,12 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "no datasets loaded")
 	default:
 		w.WriteHeader(http.StatusOK)
-		if n := s.eng.Quarantine().Len(); n > 0 {
-			fmt.Fprintf(w, "degraded: %d objects quarantined\n", n)
-		} else {
+		switch {
+		case s.coord != nil && s.coord.Degraded():
+			fmt.Fprintf(w, "degraded: %d shard breakers open\n", s.coord.Breaker().Len())
+		case s.eng != nil && s.eng.Quarantine().Len() > 0:
+			fmt.Fprintf(w, "degraded: %d objects quarantined\n", s.eng.Quarantine().Len())
+		default:
 			fmt.Fprintln(w, "ready")
 		}
 	}
@@ -103,8 +107,9 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 
 // handleStatusz is the operator inspection endpoint: engine cache counters,
 // the quarantine registry's aggregate stats and per-object entries (with
-// dataset sequence numbers resolved back to names where possible), and the
-// admission-control load.
+// dataset sequence numbers resolved back to names where possible), the
+// admission-control load, and — in sharded mode — per-shard health and the
+// coordinator's retry/hedge/breaker counters.
 func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	seqNames := make(map[int64]string, len(s.datasets))
@@ -116,38 +121,53 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	s.mu.RUnlock()
 	sort.Strings(names)
 
-	type quarEntry struct {
-		quarantine.Entry
-		DatasetName string `json:"dataset,omitempty"`
-	}
-	snap := s.eng.Quarantine().Snapshot()
-	entries := make([]quarEntry, len(snap))
-	for i, e := range snap {
-		entries[i] = quarEntry{Entry: e, DatasetName: seqNames[e.Dataset]}
-	}
-	sort.Slice(entries, func(i, j int) bool {
-		if entries[i].Dataset != entries[j].Dataset {
-			return entries[i].Dataset < entries[j].Dataset
-		}
-		return entries[i].Object < entries[j].Object
-	})
-
-	cs := s.eng.Cache().Stats()
-	s.writeJSON(w, map[string]any{
+	out := map[string]any{
 		"ready":    s.ready.Load(),
 		"datasets": names,
 		"inflight": map[string]int{"used": len(s.inflight), "max": s.cfg.MaxInFlight},
-		"cache": map[string]int64{
+	}
+
+	if s.eng != nil {
+		type quarEntry struct {
+			quarantine.Entry
+			DatasetName string `json:"dataset,omitempty"`
+		}
+		snap := s.eng.Quarantine().Snapshot()
+		entries := make([]quarEntry, len(snap))
+		for i, e := range snap {
+			entries[i] = quarEntry{Entry: e, DatasetName: seqNames[e.Dataset]}
+		}
+		sort.Slice(entries, func(i, j int) bool {
+			if entries[i].Dataset != entries[j].Dataset {
+				return entries[i].Dataset < entries[j].Dataset
+			}
+			return entries[i].Object < entries[j].Object
+		})
+
+		cs := s.eng.Cache().Stats()
+		out["cache"] = map[string]int64{
 			"hits": cs.Hits, "misses": cs.Misses, "evictions": cs.Evictions,
 			"bytes_used": cs.BytesUsed, "warm_starts": cs.WarmStarts,
 			"rounds_applied": cs.RoundsApplied, "rounds_skipped": cs.RoundsSkipped,
 			"decode_failures": cs.DecodeFailures,
-		},
-		"quarantine": map[string]any{
+		}
+		out["quarantine"] = map[string]any{
 			"stats":   s.eng.Quarantine().Stats(),
 			"entries": entries,
-		},
-	})
+		}
+	}
+
+	if s.coord != nil {
+		out["shards"] = map[string]any{
+			"count":    s.coord.Shards(),
+			"degraded": s.coord.Degraded(),
+			"health":   s.coord.Health(),
+			"metrics":  s.coord.Metrics(),
+			"breaker":  s.coord.Breaker().Stats(),
+		}
+	}
+
+	s.writeJSON(w, out)
 }
 
 // recoverPanics converts a handler panic into a 500 and a stack-trace log

@@ -33,7 +33,8 @@ type serverObs struct {
 // initObs builds the metric families. Engine-lifetime counters (cache,
 // quarantine) are sampled at scrape time through Counter/GaugeFuncs rather
 // than double-counted per query; the query families aggregate the exact
-// per-query stats the engine attributes.
+// per-query stats the engine attributes. Sharded servers trade the engine
+// families for the threedpro_shard_* families sampled off the coordinator.
 func (s *Server) initObs() {
 	reg := obs.NewRegistry()
 	o := &serverObs{
@@ -52,6 +53,14 @@ func (s *Server) initObs() {
 	}
 	reg.GaugeFunc("threedpro_queries_inflight",
 		"Query requests currently admitted.", func() float64 { return float64(len(s.inflight)) })
+
+	if s.coord != nil {
+		s.initShardObs(reg)
+	}
+	if s.eng == nil {
+		s.obs = o
+		return
+	}
 
 	cache := s.eng.Cache()
 	reg.CounterFunc("threedpro_cache_hits_total",
@@ -98,6 +107,41 @@ func (s *Server) initObs() {
 		func() float64 { return float64(quar.Stats().Reinstated) })
 
 	s.obs = o
+}
+
+// initShardObs registers the threedpro_shard_* families, sampled off the
+// coordinator's counters at scrape time.
+func (s *Server) initShardObs(reg *obs.Registry) {
+	coord := s.coord
+	reg.GaugeFunc("threedpro_shards",
+		"Configured shard count.", func() float64 { return float64(coord.Shards()) })
+	reg.GaugeFunc("threedpro_shard_breakers_open",
+		"Shards whose circuit breaker is currently open or half-open.",
+		func() float64 { return float64(coord.Breaker().Len()) })
+	reg.CounterFunc("threedpro_shard_queries_total",
+		"Queries coordinated across the shard tier.",
+		func() float64 { return float64(coord.Metrics().Queries) })
+	reg.CounterFunc("threedpro_shard_degraded_queries_total",
+		"Coordinated queries that lost at least one shard and returned a degraded answer.",
+		func() float64 { return float64(coord.Metrics().DegradedQueries) })
+	reg.CounterFunc("threedpro_shard_calls_total",
+		"Transport attempts to shards (retries and hedges included).",
+		func() float64 { return float64(coord.Metrics().ShardCalls) })
+	reg.CounterFunc("threedpro_shard_retries_total",
+		"Shard-call retries after transient transport failures.",
+		func() float64 { return float64(coord.Metrics().Retries) })
+	reg.CounterFunc("threedpro_shard_hedges_total",
+		"Hedge attempts launched against straggling shards.",
+		func() float64 { return float64(coord.Metrics().Hedges) })
+	reg.CounterFunc("threedpro_shard_hedge_wins_total",
+		"Hedge attempts whose response was accepted.",
+		func() float64 { return float64(coord.Metrics().HedgeWins) })
+	reg.CounterFunc("threedpro_shard_errors_total",
+		"Shard calls that exhausted every attempt.",
+		func() float64 { return float64(coord.Metrics().ShardErrors) })
+	reg.CounterFunc("threedpro_shard_open_skips_total",
+		"Shard calls refused outright by an open breaker.",
+		func() float64 { return float64(coord.Metrics().OpenSkips) })
 }
 
 // noteQuery records one executed query (one that reached the engine) into

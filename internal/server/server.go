@@ -33,14 +33,18 @@ import (
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/obs"
+	"repro/internal/shard"
 )
 
-// Server serves queries against a set of named datasets.
+// Server serves queries against a set of named datasets, either directly on
+// one engine or — when built with NewSharded — through a sharded
+// coordinator that scatter-gathers over per-shard engines.
 type Server struct {
-	eng  *core.Engine
-	cfg  Config
-	log  *log.Logger
-	slog *slog.Logger
+	eng   *core.Engine       // nil in sharded mode
+	coord *shard.Coordinator // nil in single-engine mode
+	cfg   Config
+	log   *log.Logger
+	slog  *slog.Logger
 
 	// inflight is the admission-control semaphore for query endpoints.
 	inflight chan struct{}
@@ -59,9 +63,22 @@ func New(eng *core.Engine) *Server { return NewWithConfig(eng, Config{}) }
 
 // NewWithConfig returns a server bound to the engine with explicit limits.
 func NewWithConfig(eng *core.Engine, cfg Config) *Server {
+	return newServer(eng, nil, cfg)
+}
+
+// NewSharded returns a server that routes every query through the sharded
+// coordinator instead of a single engine. Datasets added via AddDataset are
+// placed across the coordinator's shards; /readyz and /statusz report
+// per-shard health and /metrics gains the threedpro_shard_* families.
+func NewSharded(coord *shard.Coordinator, cfg Config) *Server {
+	return newServer(nil, coord, cfg)
+}
+
+func newServer(eng *core.Engine, coord *shard.Coordinator, cfg Config) *Server {
 	cfg.setDefaults()
 	s := &Server{
 		eng:      eng,
+		coord:    coord,
 		cfg:      cfg,
 		log:      cfg.Logger,
 		slog:     cfg.Slog,
@@ -73,11 +90,19 @@ func NewWithConfig(eng *core.Engine, cfg Config) *Server {
 	return s
 }
 
-// AddDataset registers a dataset under its name.
-func (s *Server) AddDataset(d *core.Dataset) {
+// AddDataset registers a dataset under its name. In sharded mode it also
+// places the dataset's objects across the coordinator's shards; placement
+// failure leaves the dataset unregistered.
+func (s *Server) AddDataset(d *core.Dataset) error {
+	if s.coord != nil {
+		if err := s.coord.AddDataset(d); err != nil {
+			return err
+		}
+	}
 	s.mu.Lock()
 	s.datasets[d.Name] = d
 	s.mu.Unlock()
+	return nil
 }
 
 func (s *Server) dataset(name string) (*core.Dataset, bool) {
@@ -172,6 +197,12 @@ func (s *Server) writeErr(w http.ResponseWriter, r *http.Request, err error) {
 		code = http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
 		code = statusClientClosedRequest
+	case errors.Is(err, shard.ErrUnknownDataset):
+		code = http.StatusNotFound
+	case errors.Is(err, shard.ErrAllShardsFailed), errors.Is(err, shard.ErrShardFailed):
+		// The backend, not the request, failed: a fail-fast query lost a
+		// shard (or a degrade query lost all of them).
+		code = http.StatusBadGateway
 	}
 	msg := err.Error()
 	if code == http.StatusInternalServerError {
@@ -416,9 +447,47 @@ type statsJSON struct {
 	// Trace carries the aggregated span timeline when the request set
 	// "trace": true.
 	Trace []obs.TraceEvent `json:"trace,omitempty"`
+	// Shards carries the per-shard breakdown of a coordinated query. The
+	// coordinator's counters above are exactly the sum of the per-shard
+	// stats here (degraded shards included — their synthesized stats hold
+	// the uncertainty their loss caused).
+	Shards []shardStatJSON `json:"shards,omitempty"`
+}
+
+// shardStatJSON is the serialized per-shard outcome of a coordinated query.
+type shardStatJSON struct {
+	Shard     int        `json:"shard"`
+	Status    string     `json:"status"`
+	Attempts  int        `json:"attempts"`
+	Hedged    bool       `json:"hedged,omitempty"`
+	HedgeWon  bool       `json:"hedge_won,omitempty"`
+	Err       string     `json:"error,omitempty"`
+	ElapsedMS float64    `json:"elapsed_ms"`
+	Stats     *statsJSON `json:"stats,omitempty"`
 }
 
 func statsOut(st *core.Stats) statsJSON {
+	out := baseStatsOut(st)
+	for _, ss := range st.Shards {
+		sj := shardStatJSON{
+			Shard:     ss.Shard,
+			Status:    ss.Status,
+			Attempts:  ss.Attempts,
+			Hedged:    ss.Hedged,
+			HedgeWon:  ss.HedgeWon,
+			Err:       ss.Err,
+			ElapsedMS: float64(ss.Elapsed) / float64(time.Millisecond),
+		}
+		if ss.Stats != nil {
+			nested := baseStatsOut(ss.Stats)
+			sj.Stats = &nested
+		}
+		out.Shards = append(out.Shards, sj)
+	}
+	return out
+}
+
+func baseStatsOut(st *core.Stats) statsJSON {
 	return statsJSON{
 		ElapsedMS:       float64(st.Elapsed) / float64(time.Millisecond),
 		FilterMS:        float64(st.FilterTime) / float64(time.Millisecond),
@@ -444,12 +513,18 @@ func statsOut(st *core.Stats) statsJSON {
 }
 
 func (s *Server) handleIntersect(w http.ResponseWriter, r *http.Request) {
-	target, source, q, _, err := s.parseJoin(r)
+	target, source, q, req, err := s.parseJoin(r)
 	if err != nil {
 		s.writeErr(w, r, err)
 		return
 	}
-	pairs, stats, err := s.eng.IntersectJoin(r.Context(), target, source, q)
+	var pairs []core.Pair
+	var stats *core.Stats
+	if s.coord != nil {
+		pairs, stats, err = s.coord.IntersectJoin(r.Context(), req.Target, req.Source, q)
+	} else {
+		pairs, stats, err = s.eng.IntersectJoin(r.Context(), target, source, q)
+	}
 	if stats != nil {
 		s.noteQuery(r, "intersect", stats, err)
 	}
@@ -470,7 +545,13 @@ func (s *Server) handleWithin(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, r, badRequest("dist must be positive"))
 		return
 	}
-	pairs, stats, err := s.eng.WithinJoin(r.Context(), target, source, req.Dist, q)
+	var pairs []core.Pair
+	var stats *core.Stats
+	if s.coord != nil {
+		pairs, stats, err = s.coord.WithinJoin(r.Context(), req.Target, req.Source, req.Dist, q)
+	} else {
+		pairs, stats, err = s.eng.WithinJoin(r.Context(), target, source, req.Dist, q)
+	}
 	if stats != nil {
 		s.noteQuery(r, "within", stats, err)
 	}
@@ -482,12 +563,18 @@ func (s *Server) handleWithin(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleNN(w http.ResponseWriter, r *http.Request) {
-	target, source, q, _, err := s.parseJoin(r)
+	target, source, q, req, err := s.parseJoin(r)
 	if err != nil {
 		s.writeErr(w, r, err)
 		return
 	}
-	ns, stats, err := s.eng.KNNJoin(r.Context(), target, source, q)
+	var ns []core.Neighbor
+	var stats *core.Stats
+	if s.coord != nil {
+		ns, stats, err = s.coord.KNNJoin(r.Context(), req.Target, req.Source, q)
+	} else {
+		ns, stats, err = s.eng.KNNJoin(r.Context(), target, source, q)
+	}
 	if stats != nil {
 		s.noteQuery(r, "nn", stats, err)
 	}
@@ -522,7 +609,13 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, r, badRequest("empty query box"))
 		return
 	}
-	ids, stats, err := s.eng.RangeQuery(r.Context(), d, box, q)
+	var ids []int64
+	var stats *core.Stats
+	if s.coord != nil {
+		ids, stats, err = s.coord.RangeQuery(r.Context(), req.Dataset, box, q)
+	} else {
+		ids, stats, err = s.eng.RangeQuery(r.Context(), d, box, q)
+	}
 	if stats != nil {
 		s.noteQuery(r, "range", stats, err)
 	}
@@ -550,7 +643,13 @@ func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	p := geom.V(req.Point[0], req.Point[1], req.Point[2])
-	ids, stats, err := s.eng.ContainingObjects(r.Context(), d, p, q)
+	var ids []int64
+	var stats *core.Stats
+	if s.coord != nil {
+		ids, stats, err = s.coord.ContainingObjects(r.Context(), req.Dataset, p, q)
+	} else {
+		ids, stats, err = s.eng.ContainingObjects(r.Context(), d, p, q)
+	}
 	if stats != nil {
 		s.noteQuery(r, "point", stats, err)
 	}

@@ -1,0 +1,342 @@
+package shard_test
+
+// Multi-shard chaos: shards are killed at the transport layer mid-workload
+// and the coordinator must keep answering — certain results shrink by
+// exactly the dead shards' home objects, which reappear in UncertainIDs.
+// Transient faults must be absorbed by the retry loop without surfacing
+// any uncertainty at all.
+
+import (
+	"context"
+	"fmt"
+	"slices"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/shard"
+)
+
+// homeShards maps every object ID of d to its home shard under n shards
+// (the coordinator's placement rule: cuboid mod n).
+func homeShards(d *core.Dataset, n int) map[int64]int {
+	out := make(map[int64]int, d.Len())
+	for _, o := range d.Tileset.Objects {
+		if o != nil {
+			out[o.ID] = o.Cuboid % n
+		}
+	}
+	return out
+}
+
+// killPoint returns the faultinject spec point that severs one shard.
+func killPoint(s int) string {
+	return fmt.Sprintf("%s.%d", faultinject.PointShardSend, s)
+}
+
+// TestDeadShardsDegrade kills K of N shards at the transport and asserts
+// the degraded-answer contract for K = 1 and K = 2.
+func TestDeadShardsDegrade(t *testing.T) {
+	e := core.NewEngine(testEngineOptions())
+	defer e.Close()
+	a, b := buildPair(t, e)
+	const shards = 4
+	home := homeShards(a, shards)
+	ctx := context.Background()
+
+	clean, _, err := e.IntersectJoin(ctx, a, b, core.QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, dead := range [][]int{{1}, {1, 3}} {
+		t.Run(fmt.Sprintf("kill=%v", dead), func(t *testing.T) {
+			defer faultinject.Reset()
+			c := testCoordinator(t, shard.Options{
+				Shards:       shards,
+				Retries:      1,
+				RetryBackoff: time.Millisecond,
+			}, a, b)
+			isDead := func(s int) bool { return slices.Contains(dead, s) }
+			for _, s := range dead {
+				faultinject.Arm(killPoint(s), faultinject.Fault{Err: faultinject.ErrInjected})
+			}
+
+			// FailFast: a dead shard aborts the query.
+			if _, _, err := c.IntersectJoin(ctx, "nucleiA", "nucleiB", core.QueryOptions{}); err == nil {
+				t.Fatal("FailFast query with a dead shard did not fail")
+			}
+
+			// Degrade: certain answer minus the dead shards' home targets.
+			got, st, err := c.IntersectJoin(ctx, "nucleiA", "nucleiB", core.QueryOptions{OnError: core.Degrade})
+			if err != nil {
+				t.Fatalf("degraded query failed outright: %v", err)
+			}
+			var want []core.Pair
+			var wantUncertain []int64
+			for _, p := range clean {
+				if !isDead(home[p.Target]) {
+					want = append(want, p)
+				}
+			}
+			for id, s := range home {
+				if isDead(s) {
+					wantUncertain = append(wantUncertain, id)
+				}
+			}
+			if !sameSlice(got, want) {
+				t.Fatalf("certain pairs:\n got %v\nwant %v", got, want)
+			}
+			// Every dead-shard home object must be flagged uncertain.
+			for _, id := range wantUncertain {
+				if !slices.Contains(st.UncertainIDs, id) {
+					t.Fatalf("dead-shard object %d missing from UncertainIDs %v", id, st.UncertainIDs)
+				}
+			}
+			if len(st.Degraded) != len(dead) {
+				t.Fatalf("Degraded has %d entries, want %d (one per dead shard): %v", len(st.Degraded), len(dead), st.Degraded)
+			}
+			for _, ss := range st.Shards {
+				if isDead(ss.Shard) {
+					if ss.Status != "error" {
+						t.Fatalf("dead shard %d status %q", ss.Shard, ss.Status)
+					}
+					if ss.Attempts != 2 { // 1 primary + 1 retry
+						t.Fatalf("dead shard %d made %d attempts, want 2", ss.Shard, ss.Attempts)
+					}
+				} else if ss.Status != "ok" && ss.Status != "skipped" {
+					t.Fatalf("live shard %d status %q (%s)", ss.Shard, ss.Status, ss.Err)
+				}
+			}
+
+			// The Σ-per-shard invariant must hold for the degraded query too,
+			// uncertainty lists included.
+			sum := map[string]int64{}
+			for _, ss := range st.Shards {
+				if ss.Stats != nil {
+					for k, v := range counterSums(ss.Stats) {
+						sum[k] += v
+					}
+				}
+			}
+			for k, v := range counterSums(st) {
+				if sum[k] != v {
+					t.Fatalf("Σ per-shard %s = %d, coordinator total %d", k, sum[k], v)
+				}
+			}
+		})
+	}
+}
+
+// TestRetryRecoversTransientFault proves a transient transport failure is
+// retried to success without surfacing any uncertainty.
+func TestRetryRecoversTransientFault(t *testing.T) {
+	defer faultinject.Reset()
+	e := core.NewEngine(testEngineOptions())
+	defer e.Close()
+	a, b := buildPair(t, e)
+	ctx := context.Background()
+	clean, _, err := e.IntersectJoin(ctx, a, b, core.QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := testCoordinator(t, shard.Options{
+		Shards:       4,
+		Retries:      3,
+		RetryBackoff: time.Millisecond,
+	}, a, b)
+	// Two one-shot failures: whichever shards draw them recover on retry.
+	faultinject.Arm(faultinject.PointShardSend, faultinject.Fault{Err: faultinject.ErrInjected, Times: 2})
+
+	got, st, err := c.IntersectJoin(ctx, "nucleiA", "nucleiB", core.QueryOptions{OnError: core.Degrade})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameSlice(got, clean) {
+		t.Fatalf("recovered query differs from clean:\n got %v\nwant %v", got, clean)
+	}
+	if len(st.Uncertain) != 0 || len(st.UncertainIDs) != 0 || len(st.Degraded) != 0 {
+		t.Fatalf("transient fault surfaced as degradation: %+v", st)
+	}
+	if m := c.Metrics(); m.Retries < 1 {
+		t.Fatalf("metrics show no retries: %+v", m)
+	}
+	for _, ss := range st.Shards {
+		if ss.Status != "ok" && ss.Status != "skipped" {
+			t.Fatalf("shard %d status %q after recovery", ss.Shard, ss.Status)
+		}
+	}
+	// The shards recovered, so none should be tracked by the breaker.
+	if c.Degraded() {
+		t.Fatal("breaker tracks a shard after successful recovery")
+	}
+}
+
+// TestHedgedRequestBeatsStraggler arms a one-shot sleep so one shard's
+// primary attempt stalls; the hedge must win and the query must not block
+// on the straggler.
+func TestHedgedRequestBeatsStraggler(t *testing.T) {
+	defer faultinject.Reset()
+	e := core.NewEngine(testEngineOptions())
+	defer e.Close()
+	a, b := buildPair(t, e)
+	ctx := context.Background()
+	clean, _, err := e.IntersectJoin(ctx, a, b, core.QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := testCoordinator(t, shard.Options{
+		Shards:     4,
+		HedgeAfter: 10 * time.Millisecond,
+	}, a, b)
+	faultinject.Arm(faultinject.PointShardSend, faultinject.Fault{Delay: 300 * time.Millisecond, Times: 1})
+
+	start := time.Now()
+	got, st, err := c.IntersectJoin(ctx, "nucleiA", "nucleiB", core.QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameSlice(got, clean) {
+		t.Fatalf("hedged query differs from clean:\n got %v\nwant %v", got, clean)
+	}
+	if m := c.Metrics(); m.Hedges < 1 {
+		t.Fatalf("no hedge launched: %+v (elapsed %v)", m, time.Since(start))
+	}
+	hedged := false
+	for _, ss := range st.Shards {
+		hedged = hedged || ss.Hedged
+	}
+	if !hedged {
+		t.Fatalf("no shard reports a hedged attempt: %+v", st.Shards)
+	}
+}
+
+// TestBreakerOpensAndRecovers drives the per-shard breaker through its
+// full lifecycle: trip on a dead shard, reject while open (no transport
+// attempts), and close again via a half-open probe once the shard heals.
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	defer faultinject.Reset()
+	e := core.NewEngine(testEngineOptions())
+	defer e.Close()
+	a, b := buildPair(t, e)
+	ctx := context.Background()
+	const cooldown = 50 * time.Millisecond
+
+	c := testCoordinator(t, shard.Options{
+		Shards:           4,
+		Retries:          -1, // no retries: each query is one attempt per shard
+		BreakerThreshold: 1,
+		BreakerCooldown:  cooldown,
+	}, a, b)
+	dq := core.QueryOptions{OnError: core.Degrade}
+
+	// Trip: shard 0 dead, first degraded query records the failure.
+	faultinject.Arm(killPoint(0), faultinject.Fault{Err: faultinject.ErrInjected})
+	if _, st, err := c.IntersectJoin(ctx, "nucleiA", "nucleiB", dq); err != nil {
+		t.Fatal(err)
+	} else if st.Shards[0].Status != "error" {
+		t.Fatalf("shard 0 status %q, want error", st.Shards[0].Status)
+	}
+	if !c.Degraded() {
+		t.Fatal("breaker not tracking the dead shard")
+	}
+
+	// Open: the next query must not even attempt shard 0.
+	calls := c.Metrics().ShardCalls
+	_, st, err := c.IntersectJoin(ctx, "nucleiA", "nucleiB", dq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Shards[0].Status != "open" {
+		t.Fatalf("shard 0 status %q, want open", st.Shards[0].Status)
+	}
+	if st.Shards[0].Attempts != 0 {
+		t.Fatalf("open shard was attempted %d times", st.Shards[0].Attempts)
+	}
+	if m := c.Metrics(); m.OpenSkips < 1 || m.ShardCalls-calls >= 4 {
+		t.Fatalf("open shard consumed transport calls: %+v (delta %d)", m, m.ShardCalls-calls)
+	}
+	// Its home objects are still accounted as uncertain.
+	if len(st.UncertainIDs) == 0 {
+		t.Fatal("open shard produced no uncertainty accounting")
+	}
+
+	// Heal: disarm, wait out the cooldown, probe succeeds, breaker closes.
+	faultinject.Reset()
+	time.Sleep(cooldown + 10*time.Millisecond)
+	clean, _, err := e.IntersectJoin(ctx, a, b, core.QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, st2, err := c.IntersectJoin(ctx, "nucleiA", "nucleiB", dq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Shards[0].Status != "ok" {
+		t.Fatalf("healed shard 0 status %q (%s)", st2.Shards[0].Status, st2.Shards[0].Err)
+	}
+	if !sameSlice(got, clean) {
+		t.Fatalf("healed query differs from clean:\n got %v\nwant %v", got, clean)
+	}
+	if c.Degraded() {
+		t.Fatal("breaker still tracking shard 0 after successful probe")
+	}
+}
+
+// TestRecvCorruptionIsTransportError proves a corrupted response is caught
+// by the transport integrity check and handled like any transient fault:
+// retried (fresh responses are clean only if the fault disarms) or
+// degraded, never silently accepted.
+func TestRecvCorruptionIsTransportError(t *testing.T) {
+	defer faultinject.Reset()
+	e := core.NewEngine(testEngineOptions())
+	defer e.Close()
+	a, b := buildPair(t, e)
+	ctx := context.Background()
+	clean, _, err := e.IntersectJoin(ctx, a, b, core.QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := testCoordinator(t, shard.Options{
+		Shards:       2,
+		Retries:      2,
+		RetryBackoff: time.Millisecond,
+	}, a, b)
+	// One corrupted response; the retry reads a clean one.
+	faultinject.Arm(faultinject.PointShardRecv, faultinject.Fault{Corrupt: true, Times: 1})
+
+	got, st, err := c.IntersectJoin(ctx, "nucleiA", "nucleiB", core.QueryOptions{OnError: core.Degrade})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameSlice(got, clean) {
+		t.Fatalf("post-corruption query differs from clean:\n got %v\nwant %v", got, clean)
+	}
+	if len(st.UncertainIDs) != 0 {
+		t.Fatalf("corruption degraded the query despite retry: %v", st.UncertainIDs)
+	}
+	if m := c.Metrics(); m.Retries < 1 {
+		t.Fatalf("corrupted response did not trigger a retry: %+v", m)
+	}
+}
+
+// TestAllShardsDead asserts a query with every shard dead fails even under
+// Degrade — with no survivor there is no sound certain answer.
+func TestAllShardsDead(t *testing.T) {
+	defer faultinject.Reset()
+	e := core.NewEngine(testEngineOptions())
+	defer e.Close()
+	a, b := buildPair(t, e)
+
+	c := testCoordinator(t, shard.Options{Shards: 2, Retries: -1}, a, b)
+	faultinject.Arm(faultinject.PointShardSend, faultinject.Fault{Err: faultinject.ErrInjected})
+
+	_, _, err := c.IntersectJoin(context.Background(), "nucleiA", "nucleiB", core.QueryOptions{OnError: core.Degrade})
+	if err == nil {
+		t.Fatal("query with all shards dead succeeded")
+	}
+}

@@ -1,0 +1,229 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+// Node is one shard: an engine plus the home subset of every dataset. A
+// node only ever sees its home objects and the per-query loans the
+// coordinator ships; it has no knowledge of the other shards.
+type Node struct {
+	id  int
+	eng *core.Engine
+
+	mu       sync.RWMutex
+	datasets map[string]*core.Dataset // home subsets, by dataset name
+}
+
+// NewNode creates a shard node with its own engine (decode cache, GPU
+// device, and object quarantine are all per-shard).
+func NewNode(id int, opts core.EngineOptions) *Node {
+	return &Node{id: id, eng: core.NewEngine(opts), datasets: make(map[string]*core.Dataset)}
+}
+
+// ID returns the shard index.
+func (n *Node) ID() int { return n.id }
+
+// Engine exposes the node's engine (for statistics and tests).
+func (n *Node) Engine() *core.Engine { return n.eng }
+
+// Close releases the node's engine resources.
+func (n *Node) Close() { n.eng.Close() }
+
+// AddDataset installs the home subset of a dataset. A nil or empty tileset
+// means no object of the dataset lives here; queries naming it return
+// empty results.
+func (n *Node) AddDataset(name string, ts *storage.Tileset) error {
+	if ts == nil || !hasObjects(ts) {
+		return nil
+	}
+	d, err := n.eng.AssembleDataset(name, ts)
+	if err != nil {
+		return fmt.Errorf("shard %d: %w", n.id, err)
+	}
+	n.mu.Lock()
+	n.datasets[name] = d
+	n.mu.Unlock()
+	return nil
+}
+
+func hasObjects(ts *storage.Tileset) bool {
+	for _, o := range ts.Objects {
+		if o != nil {
+			return true
+		}
+	}
+	return false
+}
+
+func (n *Node) dataset(name string) *core.Dataset {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.datasets[name]
+}
+
+// Handle executes one request against the node's home objects. Join kinds
+// run home-targets × home-sources plus home-targets × loans and merge; the
+// loan set never contains home objects, so the two sub-joins partition the
+// candidate pairs. The context carries the per-attempt deadline the
+// coordinator derived from the request context; the engine honors it.
+func (n *Node) Handle(ctx context.Context, req *Request) (*Response, error) {
+	start := time.Now()
+	target := n.dataset(req.Target)
+	if target == nil {
+		// No home objects of the target dataset: an empty, well-formed
+		// answer (the coordinator marks such shards "skipped" when it can
+		// tell in advance).
+		return &Response{Stats: &core.Stats{Elapsed: time.Since(start)}}, nil
+	}
+	switch req.Kind {
+	case KindRange:
+		ids, st, err := n.eng.RangeQuery(ctx, target, req.Box, req.Opts)
+		if err != nil {
+			return nil, err
+		}
+		return &Response{IDs: ids, Stats: st}, nil
+	case KindContains:
+		ids, st, err := n.eng.ContainingObjects(ctx, target, req.Point, req.Opts)
+		if err != nil {
+			return nil, err
+		}
+		return &Response{IDs: ids, Stats: st}, nil
+	case KindIntersect, KindWithin, KindKNN:
+		return n.handleJoin(ctx, target, req, start)
+	default:
+		return nil, fmt.Errorf("shard %d: unknown request kind %q", n.id, req.Kind)
+	}
+}
+
+// handleJoin runs the two sub-joins of a join request and merges them.
+func (n *Node) handleJoin(ctx context.Context, target *core.Dataset, req *Request, start time.Time) (*Response, error) {
+	sources := make([]*core.Dataset, 0, 2)
+	if home := n.dataset(req.Source); home != nil {
+		sources = append(sources, home)
+	}
+	if len(req.Loans) > 0 {
+		loan, err := n.assembleLoans(req.Source, req.Loans)
+		if err != nil {
+			return nil, err
+		}
+		sources = append(sources, loan)
+	}
+
+	resp := &Response{Stats: &core.Stats{}}
+	// Per-source neighbor lists are merged per target afterwards (KNN).
+	var neighborParts [][]core.Neighbor
+	for _, src := range sources {
+		switch req.Kind {
+		case KindIntersect:
+			pairs, st, err := n.eng.IntersectJoin(ctx, target, src, req.Opts)
+			if err != nil {
+				return nil, err
+			}
+			resp.Pairs = append(resp.Pairs, pairs...)
+			resp.Stats.Merge(st)
+		case KindWithin:
+			pairs, st, err := n.eng.WithinJoin(ctx, target, src, req.Dist, req.Opts)
+			if err != nil {
+				return nil, err
+			}
+			resp.Pairs = append(resp.Pairs, pairs...)
+			resp.Stats.Merge(st)
+		case KindKNN:
+			nbrs, st, err := n.eng.KNNJoin(ctx, target, src, req.Opts)
+			if err != nil {
+				return nil, err
+			}
+			neighborParts = append(neighborParts, nbrs)
+			resp.Stats.Merge(st)
+		}
+	}
+	switch req.Kind {
+	case KindIntersect, KindWithin:
+		sortPairs(resp.Pairs)
+	case KindKNN:
+		k := req.Opts.K
+		if k <= 0 {
+			k = 1
+		}
+		resp.Neighbors = mergeTopK(neighborParts, k)
+	}
+	resp.Stats.Elapsed = time.Since(start)
+	return resp, nil
+}
+
+// assembleLoans builds a per-query dataset from the loaned source objects.
+// Object IDs are global (the coordinator's), so pairs produced against
+// loans line up with pairs produced anywhere else.
+func (n *Node) assembleLoans(source string, loans []*storage.Object) (*core.Dataset, error) {
+	var maxID int64 = -1
+	for _, o := range loans {
+		if o.ID > maxID {
+			maxID = o.ID
+		}
+	}
+	ts := &storage.Tileset{
+		Objects: make([]*storage.Object, maxID+1),
+		Tiles:   make(map[int][]*storage.Object),
+	}
+	for _, o := range loans {
+		ts.Objects[o.ID] = o
+		ts.Tiles[o.Cuboid] = append(ts.Tiles[o.Cuboid], o)
+	}
+	return n.eng.AssembleDataset(source+"@loan", ts)
+}
+
+// mergeTopK merges per-source KNN result lists into the top k per target.
+// Each part is a correct top-k against its own source subset and the
+// subsets are disjoint, so the union's k smallest per target are the true
+// top k against the union.
+func mergeTopK(parts [][]core.Neighbor, k int) []core.Neighbor {
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	var all []core.Neighbor
+	for _, p := range parts {
+		all = append(all, p...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Target != all[j].Target {
+			return all[i].Target < all[j].Target
+		}
+		//lint:ignore floateq exact tie-break between settled distances; equality only routes to the deterministic ID order
+		if all[i].Dist != all[j].Dist {
+			return all[i].Dist < all[j].Dist
+		}
+		return all[i].Source < all[j].Source
+	})
+	out := all[:0]
+	var cur int64 = -1
+	taken := 0
+	for _, nb := range all {
+		if nb.Target != cur {
+			cur, taken = nb.Target, 0
+		}
+		if taken < k {
+			out = append(out, nb)
+			taken++
+		}
+	}
+	return out
+}
+
+// sortPairs orders pairs by target then source — the same deterministic
+// order the single-engine joins guarantee.
+func sortPairs(pairs []core.Pair) {
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].Target != pairs[j].Target {
+			return pairs[i].Target < pairs[j].Target
+		}
+		return pairs[i].Source < pairs[j].Source
+	})
+}

@@ -1,0 +1,77 @@
+// Package shard implements the sharded serving tier: a coordinator that
+// space-partitions object placement across N engine shards, scatter-gathers
+// per-shard query execution, and merges results and statistics so that the
+// sum of per-shard counters equals the coordinator's totals.
+//
+// Placement is by space-partition cuboid: an object whose cuboid index is c
+// lives on shard c mod N ("home" shard). A join query touches pairs that
+// straddle shards, so the coordinator computes, per shard, the set of
+// non-home source objects whose MBBs could pair with the shard's home
+// targets (the cross-shard candidate set, derived purely from the R-tree
+// MBB summaries it keeps for every dataset) and loans those objects to the
+// shard for the duration of the query. Each shard then evaluates
+// home-targets × (home-sources ∪ loans) and the coordinator concatenates:
+// target sets are disjoint across shards and loan sets never contain home
+// objects, so no pair is produced twice and none is missed.
+//
+// Robustness is the point of the tier: per-shard attempt deadlines derived
+// from the request context, bounded retries with jittered exponential
+// backoff for transport-class errors, optional hedged requests for
+// stragglers, and a per-shard circuit breaker (a quarantine.Breaker keyed
+// by shard index). A shard that is dead, timed out, or breaker-open does
+// not fail the query under core.Degrade: its home target objects are
+// reported in Stats.UncertainIDs/Uncertain and the query's certain answer
+// — sound by the PPVP guarantees independently of the missing shard — is
+// returned. See DESIGN.md §10.
+package shard
+
+import (
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/storage"
+)
+
+// Kind names a query type carried by a Request.
+type Kind string
+
+const (
+	KindIntersect Kind = "intersect"
+	KindWithin    Kind = "within"
+	KindKNN       Kind = "knn"
+	KindRange     Kind = "range"
+	KindContains  Kind = "contains"
+)
+
+// Request is one shard's share of a coordinated query. The coordinator
+// resolves dataset names and computes the loan set; the shard node resolves
+// the names against its local (home) datasets.
+type Request struct {
+	Kind   Kind   `json:"kind"`
+	Target string `json:"target"`
+	Source string `json:"source,omitempty"`
+
+	// Dist is the within-distance threshold (KindWithin).
+	Dist float64 `json:"dist,omitempty"`
+	// Box is the range-query box (KindRange).
+	Box geom.Box3 `json:"box,omitempty"`
+	// Point is the containment probe (KindContains).
+	Point geom.Vec3 `json:"point,omitempty"`
+
+	Opts core.QueryOptions `json:"opts"`
+
+	// Loans are the non-home source objects the coordinator determined this
+	// shard may need: every source whose MBB summary pairs with one of the
+	// shard's home targets under the query predicate. The in-process
+	// transport passes them by reference; a wire transport would ship the
+	// compressed blobs (they are immutable after ingest).
+	Loans []*storage.Object `json:"-"`
+}
+
+// Response is one shard's answer. Exactly one of Pairs/Neighbors/IDs is
+// populated depending on the request kind; Stats always is.
+type Response struct {
+	Pairs     []core.Pair     `json:"pairs,omitempty"`
+	Neighbors []core.Neighbor `json:"neighbors,omitempty"`
+	IDs       []int64         `json:"ids,omitempty"`
+	Stats     *core.Stats     `json:"stats"`
+}
