@@ -12,11 +12,14 @@ GOVULNCHECK_PKG ?= golang.org/x/vuln/cmd/govulncheck@v1.1.4
 # (bench.QuickConfig, seed 42), and the counts are pinned so reruns are
 # comparable. BENCHOUT is the committed artifact.
 BENCHCOUNT ?= 3
-BENCHOUT ?= BENCH_2.json
+BENCHOUT ?= BENCH_7.json
 # Extra label=file pairs merged into BENCHOUT (e.g. a saved baseline run).
 BENCHMERGE ?=
+# bench-smoke tolerance: one unwarmed iteration is noisy, so the gate only
+# catches order-of-magnitude regressions, not percent-level drift.
+SMOKE_THRESHOLD ?= 200
 
-.PHONY: build test vet lint staticcheck govulncheck race fuzz-short fuzz chaos-short ci bench
+.PHONY: build test vet lint staticcheck govulncheck race fuzz-short fuzz chaos-short ci bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -71,7 +74,17 @@ chaos-short:
 	_3DPRO_CHAOS=$(CHAOSTIME) $(GO) test -race -run 'TestChaosCampaign' -count=1 ./internal/core
 	$(GO) test -race -run 'TestDeadShardsDegrade|TestRetryRecoversTransientFault|TestHedgedRequestBeatsStraggler|TestBreakerOpensAndRecovers|TestRecvCorruptionIsTransportError|TestAllShardsDead' -count=1 ./internal/shard
 
-ci: vet lint staticcheck govulncheck race fuzz-short chaos-short
+ci: vet lint staticcheck govulncheck race fuzz-short chaos-short bench-smoke
+
+# One short iteration of the same benchmarks, diffed against the committed
+# baseline via `benchjson -compare` with a generous threshold. This is a
+# tripwire for order-of-magnitude perf regressions and bench bit-rot, not a
+# substitute for `make bench`.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkTable1_Cell' -count=1 -benchtime=1x . | tee /tmp/bench_smoke_table1.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkDecode|BenchmarkCacheHit' -count=1 -benchtime=100x ./internal/cache | tee /tmp/bench_smoke_decode.txt
+	$(GO) run ./cmd/benchjson -o /tmp/bench_smoke.json table1=/tmp/bench_smoke_table1.txt decode=/tmp/bench_smoke_decode.txt
+	$(GO) run ./cmd/benchjson -compare -threshold $(SMOKE_THRESHOLD) BENCH_7.json /tmp/bench_smoke.json
 
 # Run the FPR query benchmarks (Table 1 cells) and the decode/cache
 # micro-benchmarks, then fold the text output into $(BENCHOUT) as JSON.

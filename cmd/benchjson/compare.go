@@ -1,0 +1,122 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+// errRegression marks a comparison that found at least one benchmark slower
+// than the threshold allows; main exits non-zero so CI fails the build.
+var errRegression = errors.New("benchmark regression over threshold")
+
+// loadDoc reads a benchjson artifact (label → benchmark → summary).
+func loadDoc(path string) (map[string]map[string]Summary, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc map[string]map[string]Summary
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(doc) == 0 {
+		return nil, fmt.Errorf("%s: empty benchmark document", path)
+	}
+	return doc, nil
+}
+
+// compareRow is one benchmark's old-vs-new outcome.
+type compareRow struct {
+	label, name string
+	oldMin      float64
+	newMin      float64
+	deltaPct    float64
+	regressed   bool
+}
+
+// runCompare diffs two benchjson artifacts cell by cell and writes a delta
+// table. A benchmark regresses when its new min ns/op exceeds the old one by
+// more than thresholdPct percent — min-of-samples is the comparison basis
+// because it is the least noise-sensitive statistic a bench run provides.
+// Benchmarks present in only one artifact are reported but never fail the
+// comparison. Returns errRegression if any cell regressed.
+func runCompare(oldPath, newPath string, thresholdPct float64, stdout io.Writer) error {
+	oldDoc, err := loadDoc(oldPath)
+	if err != nil {
+		return err
+	}
+	newDoc, err := loadDoc(newPath)
+	if err != nil {
+		return err
+	}
+
+	var rows []compareRow
+	var onlyOld, onlyNew []string
+	for label, oldBenches := range oldDoc {
+		newBenches := newDoc[label]
+		for name, o := range oldBenches {
+			n, ok := newBenches[name]
+			if !ok {
+				onlyOld = append(onlyOld, label+"/"+name)
+				continue
+			}
+			delta := math.Inf(1)
+			if o.NsPerOpMin > 0 {
+				delta = (n.NsPerOpMin - o.NsPerOpMin) / o.NsPerOpMin * 100
+			}
+			rows = append(rows, compareRow{
+				label: label, name: name,
+				oldMin: o.NsPerOpMin, newMin: n.NsPerOpMin,
+				deltaPct:  delta,
+				regressed: delta > thresholdPct,
+			})
+		}
+	}
+	for label, newBenches := range newDoc {
+		oldBenches := oldDoc[label]
+		for name := range newBenches {
+			if _, ok := oldBenches[name]; !ok {
+				onlyNew = append(onlyNew, label+"/"+name)
+			}
+		}
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("no benchmarks in common between %s and %s", oldPath, newPath)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].label != rows[j].label {
+			return rows[i].label < rows[j].label
+		}
+		return rows[i].name < rows[j].name
+	})
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+
+	regressed := 0
+	fmt.Fprintf(stdout, "%-60s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, r := range rows {
+		mark := ""
+		if r.regressed {
+			mark = "  REGRESSION"
+			regressed++
+		}
+		fmt.Fprintf(stdout, "%-60s %14.0f %14.0f %+8.1f%%%s\n",
+			r.label+"/"+r.name, r.oldMin, r.newMin, r.deltaPct, mark)
+	}
+	for _, s := range onlyOld {
+		fmt.Fprintf(stdout, "%-60s (removed)\n", s)
+	}
+	for _, s := range onlyNew {
+		fmt.Fprintf(stdout, "%-60s (new)\n", s)
+	}
+	if regressed > 0 {
+		return fmt.Errorf("%w: %d of %d cells above +%.1f%%", errRegression, regressed, len(rows), thresholdPct)
+	}
+	fmt.Fprintf(stdout, "OK: %d cells within +%.1f%%\n", len(rows), thresholdPct)
+	return nil
+}

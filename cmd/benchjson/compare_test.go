@@ -1,0 +1,86 @@
+package main
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+const oldDoc = `{
+  "table1": {
+    "BenchmarkTable1_Cell/IN-FPR": {"samples":3,"iterations":9,"ns_per_op_min":1000000,"ns_per_op_mean":1100000},
+    "BenchmarkTable1_Cell/WN-NN-FPR": {"samples":3,"iterations":9,"ns_per_op_min":2000000,"ns_per_op_mean":2100000},
+    "BenchmarkTable1_Cell/Gone": {"samples":3,"iterations":9,"ns_per_op_min":500000,"ns_per_op_mean":500000}
+  }
+}`
+
+const newDocOK = `{
+  "table1": {
+    "BenchmarkTable1_Cell/IN-FPR": {"samples":3,"iterations":9,"ns_per_op_min":1030000,"ns_per_op_mean":1200000},
+    "BenchmarkTable1_Cell/WN-NN-FPR": {"samples":3,"iterations":9,"ns_per_op_min":1500000,"ns_per_op_mean":1600000},
+    "BenchmarkTable1_Cell/Fresh": {"samples":3,"iterations":9,"ns_per_op_min":700000,"ns_per_op_mean":700000}
+  }
+}`
+
+const newDocBad = `{
+  "table1": {
+    "BenchmarkTable1_Cell/IN-FPR": {"samples":3,"iterations":9,"ns_per_op_min":1300000,"ns_per_op_mean":1400000},
+    "BenchmarkTable1_Cell/WN-NN-FPR": {"samples":3,"iterations":9,"ns_per_op_min":2000000,"ns_per_op_mean":2100000}
+  }
+}`
+
+func TestCompareWithinThreshold(t *testing.T) {
+	oldP := writeTemp(t, "old.json", oldDoc)
+	newP := writeTemp(t, "new.json", newDocOK)
+	var sb strings.Builder
+	if err := runCompare(oldP, newP, 5, &sb); err != nil {
+		t.Fatalf("compare within threshold failed: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	// +3% on IN-FPR is under the 5% threshold; -25% on WN-NN is a win.
+	if !strings.Contains(out, "+3.0%") || !strings.Contains(out, "-25.0%") {
+		t.Errorf("delta columns missing:\n%s", out)
+	}
+	if strings.Contains(out, "REGRESSION") {
+		t.Errorf("spurious regression flag:\n%s", out)
+	}
+	if !strings.Contains(out, "(removed)") || !strings.Contains(out, "(new)") {
+		t.Errorf("membership changes not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "OK:") {
+		t.Errorf("missing OK summary:\n%s", out)
+	}
+}
+
+func TestCompareRegressionFails(t *testing.T) {
+	oldP := writeTemp(t, "old.json", oldDoc)
+	newP := writeTemp(t, "new.json", newDocBad)
+	var sb strings.Builder
+	err := runCompare(oldP, newP, 5, &sb)
+	if !errors.Is(err, errRegression) {
+		t.Fatalf("err = %v, want errRegression\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "REGRESSION") {
+		t.Errorf("regression row not marked:\n%s", sb.String())
+	}
+	// The same comparison passes with a generous threshold.
+	sb.Reset()
+	if err := runCompare(oldP, newP, 50, &sb); err != nil {
+		t.Fatalf("generous threshold still failed: %v", err)
+	}
+}
+
+func TestCompareBadInputs(t *testing.T) {
+	good := writeTemp(t, "good.json", oldDoc)
+	if err := runCompare("/nonexistent.json", good, 5, &strings.Builder{}); err == nil {
+		t.Error("missing old file must error")
+	}
+	empty := writeTemp(t, "empty.json", "{}")
+	if err := runCompare(empty, good, 5, &strings.Builder{}); err == nil {
+		t.Error("empty document must error")
+	}
+	disjoint := writeTemp(t, "disjoint.json", `{"other": {"BenchmarkX": {"samples":1,"iterations":1,"ns_per_op_min":1,"ns_per_op_mean":1}}}`)
+	if err := runCompare(good, disjoint, 5, &strings.Builder{}); err == nil {
+		t.Error("no common benchmarks must error")
+	}
+}

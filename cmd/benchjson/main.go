@@ -4,10 +4,16 @@
 // Usage:
 //
 //	benchjson -o BENCH.json label1=file1.txt label2=file2.txt ...
+//	benchjson -compare [-threshold pct] old.json new.json
 //
 // Each labeled input file is parsed for benchmark result lines; repeated
 // lines for one benchmark (from -count=N) are aggregated into min/mean
 // statistics. The output maps label → benchmark name → summary.
+//
+// -compare diffs two artifacts cell by cell on min ns/op, prints the delta
+// table, and exits non-zero when any common cell regressed by more than the
+// threshold (default 5%) — so bench comparisons gate CI instead of being
+// eyeballed.
 package main
 
 import (
@@ -137,12 +143,26 @@ func (e *usageError) Error() string { return e.msg }
 
 func main() {
 	out := flag.String("o", "", "output JSON path (default stdout)")
+	compare := flag.Bool("compare", false, "compare two benchjson artifacts: benchjson -compare old.json new.json")
+	threshold := flag.Float64("threshold", 5, "regression threshold in percent for -compare")
 	flag.Parse()
-	if err := run(flag.Args(), *out, os.Stdout); err != nil {
+
+	var err error
+	if *compare {
+		if flag.NArg() != 2 {
+			err = &usageError{"-compare takes exactly two arguments: old.json new.json"}
+		} else {
+			err = runCompare(flag.Arg(0), flag.Arg(1), *threshold, os.Stdout)
+		}
+	} else {
+		err = run(flag.Args(), *out, os.Stdout)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		var ue *usageError
 		if errors.As(err, &ue) {
 			fmt.Fprintln(os.Stderr, "usage: benchjson [-o out.json] label=benchoutput.txt ...")
+			fmt.Fprintln(os.Stderr, "       benchjson -compare [-threshold pct] old.json new.json")
 			os.Exit(2)
 		}
 		os.Exit(1)

@@ -12,6 +12,16 @@
 //     (slot-indexed, see evalCtx.scratch) or a sync.Pool is required.
 //     Allocations inside sync.Once.Do closures are exempt: those are
 //     single-flighted builds, not per-pair work.
+//
+// One more from the PR-7 batch pipeline:
+//
+//  3. The pipeline's stage goroutines — every `go func() { ... }()` inside a
+//     driver that opens a device stream (calls a method named NewStream) —
+//     must not allocate slices per batch: the pack and gather stages recycle
+//     their batch buffers through a sync.Pool. The same package-local
+//     reachability applies, rooted at the stage goroutine bodies. The
+//     runPerTarget dispatcher itself is exempt (its body runs once per
+//     query; its callbacks are already per-pair roots via rule 2).
 package hotalloc
 
 import (
@@ -25,8 +35,10 @@ var Analyzer = &analysis.Analyzer{
 	Name: "hotalloc",
 	Doc: "forbid mesh.Triangles() and per-pair slice allocation on the refine hot path\n\n" +
 		"In internal/core and internal/index/aabbtree, (*mesh.Mesh).Triangles() must be\n" +
-		"(*mesh.Mesh).TrianglesCached(), and functions reachable from runPerTarget\n" +
-		"callbacks must not allocate slices (use per-worker scratch or a pool).",
+		"(*mesh.Mesh).TrianglesCached(), functions reachable from runPerTarget\n" +
+		"callbacks must not allocate slices (use per-worker scratch or a pool), and\n" +
+		"goroutines launched by pipeline drivers (functions calling NewStream) must\n" +
+		"not allocate slices per batch (use pooled batch buffers).",
 	Run: run,
 }
 
@@ -62,9 +74,10 @@ func checkTrianglesCalls(pass *analysis.Pass) {
 }
 
 // checkHotPathAllocs builds the package-local static call graph, marks
-// everything reachable from function literals passed to runPerTarget, and
-// flags slice allocations (make of a slice type, slice composite literals)
-// inside the reachable region.
+// everything reachable from the two kinds of hot roots — function literals
+// passed to runPerTarget (per-pair) and stage goroutines of NewStream-calling
+// pipeline drivers (per-batch) — and flags slice allocations (make of a slice
+// type, slice composite literals) inside the reachable region.
 func checkHotPathAllocs(pass *analysis.Pass) {
 	// Map every function declaration's object to its body node, so static
 	// calls can be followed.
@@ -81,10 +94,10 @@ func checkHotPathAllocs(pass *analysis.Pass) {
 		}
 	}
 
-	// Roots: function literals appearing as arguments to a runPerTarget
-	// call. The callback runs once per target object, so everything it
-	// reaches is per-pair-or-worse.
-	var worklist []ast.Node
+	// Per-pair roots: function literals appearing as arguments to a
+	// runPerTarget call. The callback runs once per target object, so
+	// everything it reaches is per-pair-or-worse.
+	var perPairRoots []ast.Node
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
@@ -97,18 +110,73 @@ func checkHotPathAllocs(pass *analysis.Pass) {
 			}
 			for _, arg := range call.Args {
 				if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
-					worklist = append(worklist, lit.Body)
+					perPairRoots = append(perPairRoots, lit.Body)
 				}
 			}
 			return true
 		})
 	}
 
-	// Reachability over package-local static calls. Edges into sync.Once.Do
-	// closures are not followed: a Do body runs once per (object, LOD) key,
-	// not once per pair.
+	// Per-batch roots: a function that opens a device stream (calls a
+	// method named NewStream) is a pipeline driver; every goroutine literal
+	// it launches is a stage whose body runs once per work item or batch.
+	var stageRoots []ast.Node
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !callsNewStream(pass, fd.Body) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+						stageRoots = append(stageRoots, lit.Body)
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Flag the per-pair region first: helpers shared by both regions then
+	// report the runPerTarget wording deterministically.
 	visited := make(map[ast.Node]bool)
 	reachedFns := make(map[*types.Func]bool)
+	flagReachable(pass, decls, perPairRoots, visited, reachedFns,
+		"a runPerTarget callback (per-pair hot path); use per-worker scratch or a sync.Pool")
+	flagReachable(pass, decls, stageRoots, visited, reachedFns,
+		"a pipeline stage goroutine (per-batch hot path); use pooled batch buffers")
+}
+
+// callsNewStream reports whether body contains a call to any function or
+// method named NewStream — the marker that a function drives a device
+// stream pipeline.
+func callsNewStream(pass *analysis.Pass, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if callee := analysis.CalleeFunc(pass.Info, call); callee != nil && callee.Name() == "NewStream" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// flagReachable walks the package-local static call graph from the given
+// root bodies, flagging slice allocations in every newly visited body with
+// the given context wording. Edges into sync.Once.Do closures are not
+// followed (a Do body is single-flighted, not per-pair); edges into
+// runPerTarget are not followed either — the dispatcher body runs once per
+// query, and its callbacks are already roots of the per-pair region.
+func flagReachable(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl, worklist []ast.Node, visited map[ast.Node]bool, reachedFns map[*types.Func]bool, context string) {
 	for len(worklist) > 0 {
 		body := worklist[len(worklist)-1]
 		worklist = worklist[:len(worklist)-1]
@@ -116,7 +184,7 @@ func checkHotPathAllocs(pass *analysis.Pass) {
 			continue
 		}
 		visited[body] = true
-		flagSliceAllocs(pass, body)
+		flagSliceAllocs(pass, body, context)
 		ast.Inspect(body, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
@@ -129,6 +197,9 @@ func checkHotPathAllocs(pass *analysis.Pass) {
 			if analysis.IsMethodOn(callee, "sync", "Once", "Do") {
 				return false // the Do closure is single-flighted, not per-pair
 			}
+			if callee.Name() == "runPerTarget" {
+				return false // per-query dispatcher; callbacks are separate roots
+			}
 			if fd, ok := decls[callee]; ok && !reachedFns[callee] {
 				reachedFns[callee] = true
 				worklist = append(worklist, fd.Body)
@@ -139,28 +210,33 @@ func checkHotPathAllocs(pass *analysis.Pass) {
 }
 
 // flagSliceAllocs reports make([]T, ...) and []T{...} inside body, skipping
-// nested function literals that are sync.Once.Do arguments.
-func flagSliceAllocs(pass *analysis.Pass, body ast.Node) {
+// subtrees of sync.Once.Do calls (single-flighted) and runPerTarget calls
+// (whose callback literals are flagged as their own roots).
+func flagSliceAllocs(pass *analysis.Pass, body ast.Node, context string) {
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
-			if callee := analysis.CalleeFunc(pass.Info, n); callee != nil &&
-				analysis.IsMethodOn(callee, "sync", "Once", "Do") {
-				// The Do closure is single-flighted; skip its subtree.
-				return false
+			if callee := analysis.CalleeFunc(pass.Info, n); callee != nil {
+				if analysis.IsMethodOn(callee, "sync", "Once", "Do") {
+					// The Do closure is single-flighted; skip its subtree.
+					return false
+				}
+				if callee.Name() == "runPerTarget" {
+					// The callback literal is a per-pair root of its own;
+					// skipping here avoids double reports.
+					return false
+				}
 			}
 			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "make" {
 				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin && len(n.Args) > 0 {
 					if isSliceType(pass.Info.Types[n.Args[0]].Type) {
-						pass.Reportf(n.Pos(),
-							"slice allocation reachable from a runPerTarget callback (per-pair hot path); use per-worker scratch or a sync.Pool")
+						pass.Reportf(n.Pos(), "slice allocation reachable from %s", context)
 					}
 				}
 			}
 		case *ast.CompositeLit:
 			if isSliceType(pass.Info.Types[n].Type) {
-				pass.Reportf(n.Pos(),
-					"slice literal reachable from a runPerTarget callback (per-pair hot path); use per-worker scratch or a sync.Pool")
+				pass.Reportf(n.Pos(), "slice literal reachable from %s", context)
 				return false // don't double-report nested element literals
 			}
 		}

@@ -252,3 +252,30 @@ func TestProfiledLODsCached(t *testing.T) {
 		}
 	}
 }
+
+// TestRunCellExecutorParity pins the batch pipeline and the per-pair
+// reference executor to identical result counts on the actual benchmark
+// workload — the same datasets and cells BENCH_*.json timings come from —
+// so a pipeline speedup in the committed artifacts can never be the
+// product of silently skipped work.
+func TestRunCellExecutorParity(t *testing.T) {
+	s := testSuite(t)
+	for _, test := range AllTests {
+		for _, p := range []core.Paradigm{core.FR, core.FPR} {
+			s.Exec = core.ExecPerPair
+			per, err := s.RunCell(test, p, core.BruteForce)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Exec = core.ExecPipeline
+			pipe, err := s.RunCell(test, p, core.BruteForce)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Exec = core.ExecAuto
+			if per.Results != pipe.Results {
+				t.Errorf("%v/%v: per-pair %d results, pipeline %d", test, p, per.Results, pipe.Results)
+			}
+		}
+	}
+}

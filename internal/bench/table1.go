@@ -79,7 +79,7 @@ type Cell struct {
 // the test's profiled LOD schedule (§6.5), exactly as the paper does.
 func (s *Suite) RunCell(test TestID, paradigm core.Paradigm, accel core.Accel) (Cell, error) {
 	target, source := s.datasets(test)
-	q := core.QueryOptions{Paradigm: paradigm, Accel: accel, Workers: s.Cfg.Workers}
+	q := core.QueryOptions{Paradigm: paradigm, Accel: accel, Workers: s.Cfg.Workers, Exec: s.Exec}
 	if paradigm == core.FPR {
 		lods, err := s.ProfiledLODs(test)
 		if err != nil {

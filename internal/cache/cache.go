@@ -219,9 +219,12 @@ func (c *Cache) shardFor(object int64) *shard {
 	return c.shards[h&c.mask]
 }
 
-// meshBytes estimates the memory footprint of a decoded mesh.
+// meshBytes estimates the memory footprint of a decoded mesh, including any
+// derived memos (triangle slice, SoA lanes) materialized at admission time.
+// Memos built after admission are not re-accounted; they are bounded by a
+// small constant factor of the mesh itself.
 func meshBytes(m *mesh.Mesh) int64 {
-	return int64(len(m.Vertices))*24 + int64(len(m.Faces))*12 + 64
+	return m.FootprintBytes() + 64
 }
 
 // lookupOrReserve returns the existing entry for key (found=true) or

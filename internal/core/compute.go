@@ -247,7 +247,7 @@ func (c *evalCtx) tree(o obj) *aabbtree.Tree {
 		c.trees[k] = s
 	}
 	c.mu.Unlock()
-	s.once.Do(func() { s.t = aabbtree.Build(o.mesh.TrianglesCached()) })
+	s.once.Do(func() { s.t = aabbtree.BuildSoA(o.mesh.SoA()) })
 	return s.t
 }
 

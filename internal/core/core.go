@@ -94,6 +94,34 @@ func (a Accel) UsesPartition() bool { return a == Partition || a == PartitionGPU
 // UsesGPU reports whether the accelerator needs the simulated device.
 func (a Accel) UsesGPU() bool { return a == GPU || a == PartitionGPU }
 
+// Exec selects the refinement executor for the join kinds that support
+// batching (IntersectJoin, WithinJoin). The other query kinds always use the
+// per-pair executor.
+type Exec int
+
+const (
+	// ExecAuto uses the pipelined batch executor where available — the
+	// default.
+	ExecAuto Exec = iota
+	// ExecPipeline forces the pipelined batch executor.
+	ExecPipeline
+	// ExecPerPair forces the per-pair reference executor: candidates are
+	// refined one pair at a time inside the filter workers. It is the
+	// semantics baseline the pipeline is proven against.
+	ExecPerPair
+)
+
+func (x Exec) String() string {
+	switch x {
+	case ExecPipeline:
+		return "pipeline"
+	case ExecPerPair:
+		return "per-pair"
+	default:
+		return "auto"
+	}
+}
+
 // EngineOptions configures a query engine instance.
 type EngineOptions struct {
 	// CacheBytes is the decode cache budget (paper: 80 GB; default here
@@ -209,7 +237,13 @@ type QueryOptions struct {
 	// (phase, LOD) is returned in Stats.Trace. Off by default — each traced
 	// span takes a mutex on the hot path.
 	Trace bool
+	// Exec selects the refinement executor (pipelined batches vs per-pair)
+	// for IntersectJoin and WithinJoin. Defaults to the pipeline.
+	Exec Exec
 }
+
+// usePipeline reports whether the batch pipeline executor should run.
+func (q *QueryOptions) usePipeline() bool { return q.Exec != ExecPerPair }
 
 func (q *QueryOptions) workers(e *Engine) int {
 	if q.Workers > 0 {

@@ -20,6 +20,9 @@ import (
 // without ever decoding the higher LODs. Containment — which produces no
 // face intersection — is resolved at the highest LOD for the survivors.
 func (e *Engine) IntersectJoin(ctx context.Context, target, source *Dataset, q QueryOptions) ([]Pair, *Stats, error) {
+	if q.usePipeline() {
+		return e.pipelinedJoin(ctx, joinIntersect, target, source, 0, q)
+	}
 	start := time.Now()
 	col := newCollector(source.maxLOD, q, start)
 	ec := newEvalCtx(e, q, col)

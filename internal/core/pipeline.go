@@ -1,0 +1,597 @@
+package core
+
+// The pipelined batch refinement executor: the refine stage of IntersectJoin
+// and WithinJoin restructured as four overlapped stages —
+//
+//	feeder (filter) → decode → pack → evaluate → gather
+//
+// The feeder runs the unchanged filtering step under runPerTarget and emits
+// one work item per candidate pair at the bottom of the LOD ladder. Decode
+// workers pull items from an unbounded queue and attach the two meshes at
+// the item's current LOD (through the same guarded cache path as the
+// per-pair executor, so quarantine, retries, and degrade semantics are
+// identical). The pack stage folds decoded items into contiguous batches of
+// gpusim.PairTask — SoA cross products under BruteForce, host closures for
+// the tree/partition/GPU accelerators — and submits them to a
+// double-buffered device stream. The gather stage collects verdicts in
+// submission order and settles each pair exactly like the per-pair ladder
+// would: accept, reject-at-top-LOD, or requeue at the next LOD.
+//
+// Decoding LOD k+1 of one pair therefore overlaps evaluation of LOD k of
+// another, and the BruteForce tri-tri inner loops run over flat SoA lanes
+// with per-pair box gating instead of pointer-heavy []Triangle values.
+//
+// Deadlock freedom: the only cycle in the stage graph is gather → decode
+// (requeueing a surviving pair at the next LOD). The decode queue is
+// unbounded, so the gather stage never blocks pushing to it; backpressure is
+// applied at the stream (Submit blocks at StreamDepth in-flight launches),
+// which gather alone drains. Termination: every emitted pair is settled
+// exactly once (result, rejection, degrade-uncertain, or cancellation drop);
+// when the feeder has finished and the outstanding count reaches zero the
+// queue closes and the stages unwind in order.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/gpusim"
+	"repro/internal/index/rtree"
+	"repro/internal/quarantine"
+	"repro/internal/storage"
+)
+
+// joinKind selects the predicate the pipeline evaluates.
+type joinKind int
+
+const (
+	joinIntersect joinKind = iota
+	joinWithin
+)
+
+// maxBatchTasks caps the pair tasks per submitted batch, bounding gather
+// latency and the memory pinned by an in-flight launch.
+const maxBatchTasks = 64
+
+// taskBufPool recycles the pack stage's batch buffers; the gather stage
+// returns each buffer after processing its verdicts, so steady-state
+// batching allocates nothing per batch.
+var taskBufPool = sync.Pool{New: func() any {
+	s := make([]gpusim.PairTask, 0, maxBatchTasks)
+	return &s
+}}
+
+// pairWork is one candidate pair riding the pipeline. The same item is
+// requeued with li advanced until the pair settles, so the pipeline
+// allocates one item per candidate pair, not one per (pair, LOD).
+type pairWork struct {
+	t, s int64
+	li   int // index into the LOD ladder
+	// to and so are the decoded objects at lods[li], attached by the
+	// decode stage and dropped again on requeue.
+	to, so obj
+}
+
+// pairQueue is the unbounded MPMC queue feeding the decode stage. Unbounded
+// is load-bearing: the gather stage requeues surviving pairs here and must
+// never block, or the gather→decode cycle could deadlock against the
+// stream's backpressure.
+type pairQueue struct {
+	mu     sync.Mutex
+	cond   sync.Cond
+	items  []*pairWork
+	head   int
+	closed bool
+}
+
+func newPairQueue() *pairQueue {
+	q := &pairQueue{}
+	q.cond.L = &q.mu
+	return q
+}
+
+func (q *pairQueue) push(w *pairWork) {
+	q.mu.Lock()
+	if !q.closed {
+		// Compact the consumed prefix once it dominates the backing array.
+		if q.head > 64 && q.head*2 >= len(q.items) {
+			n := copy(q.items, q.items[q.head:])
+			q.items = q.items[:n]
+			q.head = 0
+		}
+		q.items = append(q.items, w)
+		q.cond.Signal()
+	}
+	q.mu.Unlock()
+}
+
+func (q *pairQueue) pop() (*pairWork, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.head == len(q.items) && !q.closed {
+		q.cond.Wait()
+	}
+	if q.head == len(q.items) {
+		return nil, false
+	}
+	w := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	return w, true
+}
+
+func (q *pairQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// pipelinedJoin executes IntersectJoin (dist ignored) or WithinJoin through
+// the batch pipeline. It is proven result-equal to the per-pair executor by
+// the equivalence and property suites; the per-pair path remains the
+// reference semantics.
+func (e *Engine) pipelinedJoin(ctx context.Context, kind joinKind, target, source *Dataset, dist float64, q QueryOptions) ([]Pair, *Stats, error) {
+	start := time.Now()
+	col := newCollector(source.maxLOD, q, start)
+	ec := newEvalCtx(e, q, col)
+	workers := q.workers(e)
+	// The pipeline has more concurrent actors than the per-pair executor:
+	// feeder slots [0,W), decode slots [W,2W), and the gather slot 2W. The
+	// degrader's per-slot buffers are sized accordingly; the feeder's filter
+	// scratch keeps its W slots.
+	gatherSlot := 2 * workers
+	if ec.deg != nil {
+		ec.deg = newDegrader(gatherSlot+1, q.ErrorBudget)
+	}
+	lods := q.lodSchedule(minInt(target.maxLOD, source.maxLOD), q.Paradigm)
+	ftree := source.filterTree(q.Accel)
+	sink := newResultSink(workers + 1)
+	gatherSink := workers // sink slot owned by the gather goroutine
+
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	var failOnce sync.Once
+	var firstErr error
+	fail := func(err error) {
+		failOnce.Do(func() {
+			firstErr = err
+			cancel(err)
+		})
+	}
+
+	// upper is the distance bound handed to the evaluators under joinWithin,
+	// matching the per-pair executor's call sites; upper2 seeds the SoA
+	// distance kernels (squared, inflated so a distance exactly equal to the
+	// bound is still found and returned exactly).
+	upper := math.Inf(1)
+	upper2 := math.Inf(1)
+	if kind == joinWithin {
+		upper = dist * (1 + 1e-12)
+		upper2 = upper * upper * nextAfterFactor
+		if upper2 == 0 {
+			// dist == 0: keep the seed strictly above zero so touching
+			// pairs (true distance exactly 0) still beat the bound.
+			upper2 = math.SmallestNonzeroFloat64
+		}
+	}
+
+	queue := newPairQueue()
+	var outstanding atomic.Int64
+	var feederDone atomic.Bool
+	maybeClose := func() {
+		if feederDone.Load() && outstanding.Load() == 0 {
+			queue.close()
+		}
+	}
+	// settle marks one pair finished (result, rejection, uncertain, or
+	// cancellation drop); the last settle after the feeder finished closes
+	// the queue and lets the stages unwind.
+	settle := func() {
+		if outstanding.Add(-1) == 0 {
+			maybeClose()
+		}
+	}
+
+	// Stage 1 — feeder: the unchanged filtering step, emitting pairs at the
+	// ladder's first LOD. Within-distance whole-subtree acceptances need no
+	// geometry and go to the sink straight from the feeder's slot.
+	feedErr := make(chan error, 1)
+	go func() {
+		err := runPerTarget(ctx, target, workers, func(w int, o *storage.Object) error {
+			sc := ec.scratch[w].reset()
+			if kind == joinIntersect {
+				ec.filterIntersect(ftree, target, source, o, sc)
+			} else {
+				ec.filterWithin(ftree, target, source, o, sc, dist)
+			}
+			col.candidates.Add(int64(len(sc.def) + len(sc.ids)))
+			sortIDs(sc.def)
+			for _, id := range sc.def {
+				sink.add(w, Pair{Target: o.ID, Source: id})
+				col.results.Add(1)
+			}
+			sortIDs(sc.ids)
+			for _, id := range sc.ids {
+				outstanding.Add(1)
+				queue.push(&pairWork{t: o.ID, s: id})
+			}
+			return nil
+		}, ec.deg.backstop(e, target))
+		feederDone.Store(true)
+		maybeClose()
+		feedErr <- err
+	}()
+
+	// Stage 2 — decode workers: attach both meshes at the item's current
+	// LOD through the guarded cache path. Failures follow the per-pair
+	// degrade contract: record the object once, mark this pair uncertain,
+	// abort under FailFast or on budget/context errors.
+	ready := make(chan *pairWork, 4*workers)
+	var decWG sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		slot := workers + i
+		decWG.Add(1)
+		go func() {
+			defer decWG.Done()
+			for {
+				w, ok := queue.pop()
+				if !ok {
+					return
+				}
+				if ctx.Err() != nil {
+					settle()
+					continue
+				}
+				if !ec.decodePair(target, source, w, lods[w.li], slot, fail) {
+					settle()
+					continue
+				}
+				select {
+				case ready <- w:
+				case <-ctx.Done():
+					settle()
+				}
+			}
+		}()
+	}
+	go func() {
+		decWG.Wait()
+		close(ready)
+	}()
+
+	// Stage 3 — pack: fold decoded pairs into contiguous batches and submit
+	// them to the double-buffered stream. A batch flushes when full or when
+	// no further input is immediately available, so a trickle of pairs never
+	// stalls behind a half-built batch.
+	stream := e.dev.NewStream()
+	if q.Accel == BruteForce {
+		// SoA kernels have no per-call geometry accounting of their own;
+		// credit each launch's wall time to the geometry phase. Host tasks
+		// (every other accelerator) self-account inside ec.intersects /
+		// ec.minDist, exactly like the per-pair executor.
+		stream.OnBatchDone = col.geomBatch
+	}
+	packDone := make(chan struct{})
+	go func() {
+		defer close(packDone)
+		defer stream.CloseSubmit()
+		ec.packLoop(ctx, kind, ready, stream, lods, upper, upper2)
+	}()
+
+	// Stage 4 — gather: settle verdicts in submission order, requeueing
+	// survivors at the next LOD.
+	gatherDone := make(chan struct{})
+	go func() {
+		defer close(gatherDone)
+		for {
+			tasks, verdicts, ok := stream.Collect()
+			if !ok {
+				return
+			}
+			for i := range tasks {
+				w := tasks[i].Tag.(*pairWork)
+				if ctx.Err() != nil {
+					settle()
+					continue
+				}
+				requeued, err := ec.gatherOne(kind, target, source, &tasks[i], verdicts[i], lods, dist, sink, gatherSink)
+				if err != nil {
+					ec.gatherFailure(gatherSlot, target, w, err, fail)
+					settle()
+					continue
+				}
+				if requeued {
+					queue.push(w)
+				} else {
+					settle()
+				}
+			}
+			e.dev.PutVerdicts(verdicts)
+			tasks = tasks[:0]
+			taskBufPool.Put(&tasks)
+		}
+	}()
+
+	if err := <-feedErr; err != nil {
+		fail(err)
+	}
+	<-packDone
+	<-gatherDone
+	// All stage goroutines have exited (packDone implies the decode workers
+	// finished), so firstErr is stable.
+	if firstErr == nil && ctx.Err() != nil {
+		// The stages drop pairs silently on cancellation; surface the cause
+		// the way runPerTarget does for the per-pair executor.
+		firstErr = context.Cause(ctx)
+	}
+	if firstErr != nil {
+		return nil, ec.finish(start), firstErr
+	}
+	return sink.sorted(), ec.finish(start), nil
+}
+
+// filterIntersect is the IntersectJoin filtering step, verbatim from the
+// per-pair executor: MBB intersection against the global index with
+// per-worker dedup scratch.
+func (c *evalCtx) filterIntersect(tree *rtree.Tree, target, source *Dataset, o *storage.Object, sc *filterScratch) {
+	c.col.filterPhase(func() {
+		tree.SearchIntersect(o.MBB(), func(ent rtree.Entry) bool {
+			if target.seq == source.seq && ent.ID == o.ID {
+				return true
+			}
+			if _, dup := sc.seen[ent.ID]; !dup {
+				sc.seen[ent.ID] = struct{}{}
+				sc.ids = append(sc.ids, ent.ID)
+			}
+			return true
+		})
+	})
+}
+
+// filterWithin is the WithinJoin filtering step, verbatim from the per-pair
+// executor: MINDIST/MAXDIST pruning splits the index answer into definite
+// acceptances (sc.def) and refinement candidates (sc.ids).
+func (c *evalCtx) filterWithin(tree *rtree.Tree, target, source *Dataset, o *storage.Object, sc *filterScratch, dist float64) {
+	c.col.filterPhase(func() {
+		r := tree.SearchWithin(o.MBB(), dist)
+		for _, ent := range r.Definite {
+			if target.seq == source.seq && ent.ID == o.ID {
+				continue
+			}
+			if _, dup := sc.seen[ent.ID]; dup {
+				continue
+			}
+			sc.seen[ent.ID] = struct{}{}
+			sc.def = append(sc.def, ent.ID)
+		}
+		for _, ent := range r.Candidates {
+			if target.seq == source.seq && ent.ID == o.ID {
+				continue
+			}
+			if _, dup := sc.seen[ent.ID]; dup {
+				continue
+			}
+			sc.seen[ent.ID] = struct{}{}
+			sc.ids = append(sc.ids, ent.ID)
+		}
+	})
+}
+
+// decodePair attaches both meshes of w at lod, returning false when the pair
+// is finished (decode failure — recorded per the degrade contract, or
+// aborting the query via fail). A panic out of the FailFast decode path is
+// converted to the same per-object error shape the per-pair executor's
+// callRecovered would produce.
+func (c *evalCtx) decodePair(target, source *Dataset, w *pairWork, lod, slot int, fail func(error)) (ok bool) {
+	handle := func(ds *Dataset, id int64, err error) {
+		skip, aerr := c.degradeErr(slot, ds, id, err)
+		if !skip {
+			fail(aerr)
+			return
+		}
+		c.deg.uncertain(slot, Pair{Target: w.t, Source: w.s})
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			handle(target, w.t, fmt.Errorf("core: worker panic on object %d: %v", w.t, r))
+			ok = false
+		}
+	}()
+	to, err := c.decode(target, w.t, lod)
+	if err != nil {
+		handle(target, w.t, err)
+		return false
+	}
+	so, err := c.decode(source, w.s, lod)
+	if err != nil {
+		handle(source, w.s, err)
+		return false
+	}
+	w.to, w.so = to, so
+	return true
+}
+
+// packLoop drains ready into batches and submits them. Counting evalPair at
+// pack time mirrors the per-pair executor, which counts immediately before
+// each evaluation.
+func (c *evalCtx) packLoop(ctx context.Context, kind joinKind, ready <-chan *pairWork, stream *gpusim.Stream, lods []int, upper, upper2 float64) {
+	buf := taskBufPool.Get().(*[]gpusim.PairTask)
+	batch := (*buf)[:0]
+	var batchPairs int64
+	aborted := false
+
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		c.col.batches.Add(1)
+		c.col.batchPairs.Add(batchPairs)
+		batchPairs = 0
+		*buf = batch
+		stream.Submit(batch)
+		buf = taskBufPool.Get().(*[]gpusim.PairTask)
+		batch = (*buf)[:0]
+	}
+	add := func(w *pairWork) {
+		if ctx.Err() != nil && !aborted {
+			// The query is aborting: stop burning kernels, but keep routing
+			// pairs through so the gather stage settles every one of them.
+			stream.Abort()
+			aborted = true
+		}
+		c.col.evalPair(lods[w.li])
+		batchPairs += int64(w.to.mesh.NumFaces()) * int64(w.so.mesh.NumFaces())
+		batch = append(batch, c.makeTask(kind, w, upper, upper2))
+		if len(batch) >= maxBatchTasks {
+			flush()
+		}
+	}
+
+	for {
+		if len(batch) == 0 {
+			w, ok := <-ready
+			if !ok {
+				break
+			}
+			add(w)
+			continue
+		}
+		select {
+		case w, ok := <-ready:
+			if !ok {
+				flush()
+				return
+			}
+			add(w)
+		default:
+			flush()
+		}
+	}
+	flush()
+}
+
+// makeTask turns one decoded pair into its batch task. Under BruteForce the
+// pair becomes a flat SoA cross product evaluated by the batch kernels;
+// every other accelerator wraps the per-pair evaluator in a host closure so
+// the accelerated paths (and their self-accounting) are reused bit-for-bit.
+// Host within-closures return the evaluator's plain distance in D2 (not its
+// square) so the gather stage can apply the per-pair comparison verbatim.
+func (c *evalCtx) makeTask(kind joinKind, w *pairWork, upper, upper2 float64) gpusim.PairTask {
+	if c.opts.Accel == BruteForce {
+		if kind == joinIntersect {
+			return gpusim.PairTask{Kind: gpusim.PairIntersect, A: w.to.mesh.SoA(), B: w.so.mesh.SoA(), Tag: w}
+		}
+		return gpusim.PairTask{Kind: gpusim.PairMinDist, A: w.to.mesh.SoA(), B: w.so.mesh.SoA(), Upper2: upper2, Tag: w}
+	}
+	if kind == joinIntersect {
+		return gpusim.PairTask{Kind: gpusim.PairHost, Tag: w, Fn: func() gpusim.PairVerdict {
+			return gpusim.PairVerdict{Hit: c.intersects(w.to, w.so)}
+		}}
+	}
+	return gpusim.PairTask{Kind: gpusim.PairHost, Tag: w, Fn: func() gpusim.PairVerdict {
+		return gpusim.PairVerdict{D2: c.minDist(w.to, w.so, upper)}
+	}}
+}
+
+// gatherOne settles one verdict. requeued=true means the pair survived this
+// LOD and was advanced (the caller pushes it back to the decode queue); a
+// non-nil error is a host-closure or kernel failure for the caller's degrade
+// handling. The accept/reject logic is a transcription of the per-pair
+// ladder bodies in IntersectJoin and WithinJoin.
+func (c *evalCtx) gatherOne(kind joinKind, target, source *Dataset, task *gpusim.PairTask, v gpusim.PairVerdict, lods []int, dist float64, sink *resultSink, sinkSlot int) (requeued bool, err error) {
+	w := task.Tag.(*pairWork)
+	if v.Err != nil {
+		return false, v.Err
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			requeued = false
+			err = fmt.Errorf("core: worker panic on object %d: %v", w.t, r)
+		}
+	}()
+	lod := lods[w.li]
+	last := w.li == len(lods)-1
+
+	if kind == joinWithin {
+		// Reconstruct the per-pair decision d ≤ dist. SoA verdicts carry the
+		// squared distance — or the untouched seed, meaning "no pair beat
+		// the bound", which implies the true distance exceeds dist. Host
+		// verdicts carry the evaluator's plain distance already.
+		accept := false
+		if task.Kind == gpusim.PairMinDist {
+			if v.D2 < task.Upper2 {
+				accept = math.Sqrt(v.D2) <= dist
+			}
+		} else {
+			accept = v.D2 <= dist
+		}
+		if accept {
+			c.col.settlePair(lod)
+			sink.add(sinkSlot, Pair{Target: w.t, Source: w.s})
+			c.col.results.Add(1)
+			return false, nil
+		}
+		if last {
+			c.col.settlePair(lod) // settled by rejection at top LOD
+			return false, nil
+		}
+		w.li++
+		w.to, w.so = obj{}, obj{}
+		return true, nil
+	}
+
+	// joinIntersect: a face hit — or, for MBB-nested pairs, a vertex of one
+	// low-LOD mesh inside the other low-LOD solid (sound by the PPVP subset
+	// property) — settles the pair at this LOD.
+	hit := v.Hit
+	if !hit {
+		oMBB := target.Tileset.Object(w.t).MBB()
+		cMBB := source.Tileset.Object(w.s).MBB()
+		if oMBB.Contains(cMBB) && len(w.so.mesh.Vertices) > 0 {
+			hit = c.pointInside(w.to, w.so.mesh.Vertices[0])
+		} else if cMBB.Contains(oMBB) && len(w.to.mesh.Vertices) > 0 {
+			hit = c.pointInside(w.so, w.to.mesh.Vertices[0])
+		}
+	}
+	if hit {
+		c.col.settlePair(lod)
+		sink.add(sinkSlot, Pair{Target: w.t, Source: w.s})
+		c.col.results.Add(1)
+		return false, nil
+	}
+	if last {
+		// Containment handling at the highest LOD (Alg. 1, steps 8–12);
+		// both meshes are already decoded at the top LOD here.
+		if c.containsObject(w.to, w.so) || c.containsObject(w.so, w.to) {
+			sink.add(sinkSlot, Pair{Target: w.t, Source: w.s})
+			c.col.results.Add(1)
+		}
+		return false, nil
+	}
+	w.li++
+	w.to, w.so = obj{}, obj{}
+	return true, nil
+}
+
+// gatherFailure applies the degrade contract to an evaluation failure: the
+// target object is quarantined and recorded (mirroring the per-pair
+// executor's backstop), the pair marked uncertain; FailFast aborts.
+func (c *evalCtx) gatherFailure(slot int, target *Dataset, w *pairWork, err error, fail func(error)) {
+	if c.deg == nil || isCtxErr(err) {
+		fail(err)
+		return
+	}
+	c.e.quar.Failure(quarantine.Key{Dataset: target.seq, Object: w.t}, firstLine(err.Error()))
+	if aerr := c.deg.fail(slot, target, w.t, err); aerr != nil {
+		fail(aerr)
+		return
+	}
+	c.deg.uncertain(slot, Pair{Target: w.t, Source: w.s})
+}

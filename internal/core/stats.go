@@ -71,6 +71,14 @@ type Stats struct {
 	// diffed from the shared cache's global counters.
 	DecodeFailures int64
 
+	// BatchesDispatched counts the face-pair batches this query's pipelined
+	// executor submitted to the batch evaluator, and BatchPairs the total
+	// face pairs those batches spanned (BatchPairs/BatchesDispatched is the
+	// mean batch width; the device keeps the full pairs-per-batch histogram
+	// for /metrics). Zero under the per-pair executor.
+	BatchesDispatched int64
+	BatchPairs        int64
+
 	// Trace is the query's aggregated span timeline — one event per
 	// (phase, LOD), with counts and first/last/total activity offsets —
 	// recorded only when QueryOptions.Trace was set.
@@ -140,6 +148,8 @@ func (s *Stats) Merge(other *Stats) {
 	s.QuarantineSkips += other.QuarantineSkips
 	s.DecodeRetries += other.DecodeRetries
 	s.DecodeFailures += other.DecodeFailures
+	s.BatchesDispatched += other.BatchesDispatched
+	s.BatchPairs += other.BatchPairs
 	if n := len(other.PairsEvaluated); n > len(s.PairsEvaluated) {
 		s.PairsEvaluated = append(s.PairsEvaluated, make([]int64, n-len(s.PairsEvaluated))...)
 	}
@@ -176,6 +186,9 @@ func (s *Stats) String() string {
 		s.DecodeTime.Round(time.Microsecond), s.GeomTime.Round(time.Microsecond),
 		s.Candidates, s.Results, s.Decodes, s.CacheHits,
 		s.WarmStarts, s.RoundsApplied, s.RoundsSkipped)
+	if s.BatchesDispatched > 0 {
+		fmt.Fprintf(&b, " batches=%d batchPairs=%d", s.BatchesDispatched, s.BatchPairs)
+	}
 	if len(s.Degraded) > 0 || len(s.Uncertain) > 0 || len(s.UncertainIDs) > 0 || s.QuarantineSkips > 0 || s.DecodeFailures > 0 {
 		fmt.Fprintf(&b, " degraded=%d uncertain=%d quarantineSkips=%d decodeRetries=%d decodeFailures=%d",
 			len(s.Degraded), len(s.Uncertain)+len(s.UncertainIDs), s.QuarantineSkips, s.DecodeRetries, s.DecodeFailures)
@@ -199,6 +212,8 @@ type collector struct {
 	cacheHits       atomic.Int64
 	quarantineSkips atomic.Int64
 	decodeRetries   atomic.Int64
+	batches         atomic.Int64
+	batchPairs      atomic.Int64
 	evaluated       []atomic.Int64
 	pruned          []atomic.Int64
 
@@ -257,6 +272,14 @@ func (c *collector) geomDone(lod int, t0 time.Time) {
 	c.tr.Observe("geom", lod, t0, d)
 }
 
+// geomBatch credits one batch-kernel launch's wall time to the geometry
+// phase. SoA launches span pairs at multiple LODs, so the span carries no
+// single LOD.
+func (c *collector) geomBatch(d time.Duration) {
+	c.geomNs.Add(d.Nanoseconds())
+	c.tr.Observe("geom", obs.NoLOD, time.Now().Add(-d), d)
+}
+
 // evalPair counts one candidate pair evaluated at lod.
 func (c *collector) evalPair(lod int) {
 	c.evaluated[lod].Add(1)
@@ -272,23 +295,25 @@ func (c *collector) settlePair(lod int) {
 
 func (c *collector) snapshot(elapsed time.Duration) *Stats {
 	s := &Stats{
-		Elapsed:         elapsed,
-		FilterTime:      time.Duration(c.filterNs.Load()),
-		DecodeTime:      time.Duration(c.decodeNs.Load()),
-		GeomTime:        time.Duration(c.geomNs.Load()),
-		Candidates:      c.candidates.Load(),
-		Results:         c.results.Load(),
-		Decodes:         c.decodes.Load(),
-		CacheHits:       c.cacheHits.Load(),
-		QuarantineSkips: c.quarantineSkips.Load(),
-		DecodeRetries:   c.decodeRetries.Load(),
-		WarmStarts:      c.cacheCtrs.WarmStarts.Load(),
-		RoundsApplied:   c.cacheCtrs.RoundsApplied.Load(),
-		RoundsSkipped:   c.cacheCtrs.RoundsSkipped.Load(),
-		DecodeFailures:  c.cacheCtrs.DecodeFailures.Load(),
-		PairsEvaluated:  make([]int64, len(c.evaluated)),
-		PairsPruned:     make([]int64, len(c.pruned)),
-		Trace:           c.tr.Events(),
+		Elapsed:           elapsed,
+		FilterTime:        time.Duration(c.filterNs.Load()),
+		DecodeTime:        time.Duration(c.decodeNs.Load()),
+		GeomTime:          time.Duration(c.geomNs.Load()),
+		Candidates:        c.candidates.Load(),
+		Results:           c.results.Load(),
+		Decodes:           c.decodes.Load(),
+		CacheHits:         c.cacheHits.Load(),
+		QuarantineSkips:   c.quarantineSkips.Load(),
+		DecodeRetries:     c.decodeRetries.Load(),
+		BatchesDispatched: c.batches.Load(),
+		BatchPairs:        c.batchPairs.Load(),
+		WarmStarts:        c.cacheCtrs.WarmStarts.Load(),
+		RoundsApplied:     c.cacheCtrs.RoundsApplied.Load(),
+		RoundsSkipped:     c.cacheCtrs.RoundsSkipped.Load(),
+		DecodeFailures:    c.cacheCtrs.DecodeFailures.Load(),
+		PairsEvaluated:    make([]int64, len(c.evaluated)),
+		PairsPruned:       make([]int64, len(c.pruned)),
+		Trace:             c.tr.Events(),
 	}
 	for i := range c.evaluated {
 		s.PairsEvaluated[i] = c.evaluated[i].Load()

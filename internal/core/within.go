@@ -21,6 +21,9 @@ import (
 // above dist is inconclusive, so unsettled candidates ride up to the
 // highest LOD where the decision is exact.
 func (e *Engine) WithinJoin(ctx context.Context, target, source *Dataset, dist float64, q QueryOptions) ([]Pair, *Stats, error) {
+	if q.usePipeline() {
+		return e.pipelinedJoin(ctx, joinWithin, target, source, dist, q)
+	}
 	start := time.Now()
 	col := newCollector(source.maxLOD, q, start)
 	ec := newEvalCtx(e, q, col)

@@ -1,0 +1,330 @@
+package gpusim
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/geom"
+)
+
+// StreamDepth is the number of launches a Stream keeps in flight before
+// Submit applies backpressure: one batch evaluating while the next is
+// queued, the simulated analogue of double-buffered kernel launches.
+const StreamDepth = 2
+
+// PairKind selects the kernel a PairTask runs.
+type PairKind uint8
+
+const (
+	// PairIntersect asks "does any face of A intersect any face of B",
+	// with box-gated pairs and early termination on the first hit.
+	PairIntersect PairKind = iota
+	// PairMinDist asks for the squared minimum pair distance, seeded with
+	// Upper2 (a verdict D2 ≥ Upper2 only means "no pair beat the bound").
+	PairMinDist
+	// PairHost runs the task's Fn closure. It exists so refinement work
+	// that cannot be expressed as a flat cross product (tree-accelerated
+	// paths, partitioned evaluation) still rides the same batches and
+	// keeps the pipeline's ordering and accounting. Host closures execute
+	// on the EvalPairBatch caller's goroutine, never on a device worker:
+	// a closure may itself launch device kernels (the GPU accelerators
+	// do), and occupying a worker while waiting for sub-kernels would
+	// deadlock a saturated pool.
+	PairHost
+)
+
+// PairTask is one unit of refinement work in a batch: a full A×B face-pair
+// cross product in SoA form, or a host closure.
+type PairTask struct {
+	Kind   PairKind
+	A, B   *geom.TriSoA
+	Upper2 float64
+	// Tag is caller-owned correlation state, carried through untouched.
+	Tag any
+	// Fn is the host closure for PairHost tasks.
+	Fn func() PairVerdict
+}
+
+// PairVerdict is the outcome of one PairTask. Err is non-nil only when a
+// host closure returned an error or a kernel panicked; the geometry fields
+// are then meaningless.
+type PairVerdict struct {
+	Hit bool
+	D2  float64
+	Err error
+}
+
+// numHistBuckets is the number of power-of-two pairs-per-batch buckets;
+// the last bucket absorbs everything ≥ 2^(numHistBuckets-1).
+const numHistBuckets = 24
+
+// batchStats aggregates the device's batch-dispatch accounting.
+type batchStats struct {
+	batches    atomic.Int64
+	batchPairs atomic.Int64
+	// hist[k] counts batches whose total face-pair count p satisfies
+	// 2^k ≤ p < 2^(k+1) (bucket 0 also takes p ≤ 1). Exposed raw so the
+	// server can project it into an obs histogram at scrape time.
+	hist [numHistBuckets]atomic.Int64
+}
+
+// BatchesDispatched returns the number of EvalPairBatch calls so far.
+func (d *Device) BatchesDispatched() int64 { return d.batch.batches.Load() }
+
+// BatchPairs returns the total face pairs across all dispatched batches.
+func (d *Device) BatchPairs() int64 { return d.batch.batchPairs.Load() }
+
+// PairsPerBatchBuckets returns the pairs-per-batch histogram as cumulative
+// power-of-two buckets: element k counts batches with ≤ 2^(k+1)−1 pairs.
+// The last element equals BatchesDispatched (the +Inf bucket).
+func (d *Device) PairsPerBatchBuckets() []int64 {
+	out := make([]int64, len(d.batch.hist))
+	var cum int64
+	for i := range d.batch.hist {
+		cum += d.batch.hist[i].Load()
+		out[i] = cum
+	}
+	return out
+}
+
+// taskState is the shared accumulator kernels of one task fold into.
+type taskState struct {
+	hit  atomic.Bool
+	best atomicFloat
+	err  atomic.Pointer[error]
+}
+
+func (st *taskState) setErr(err error) {
+	if err != nil {
+		st.err.CompareAndSwap(nil, &err)
+	}
+}
+
+// EvalPairBatch evaluates tasks on the device, writing verdicts[i] for
+// tasks[i]. Each SoA task's pair index space is split into batch-size
+// kernel launches; kernels of one task share a hit flag (intersection
+// early-exit) and a CAS-min accumulator (distance). A nil abort pointer
+// disables cancellation; when abort becomes true, kernels not yet started
+// return immediately and the corresponding verdicts are unspecified.
+// Kernel panics are captured into the verdict's Err instead of killing
+// device workers. verdicts must have len(tasks) elements.
+func (d *Device) EvalPairBatch(tasks []PairTask, verdicts []PairVerdict, abort *atomic.Bool) {
+	if len(verdicts) != len(tasks) {
+		panic("gpusim: verdicts length does not match tasks")
+	}
+	if len(tasks) == 0 {
+		return
+	}
+	states := d.getStates(len(tasks))
+	defer d.putStates(states)
+
+	var totalPairs int64
+	var wg sync.WaitGroup
+	launch := func(st *taskState, kernel func()) {
+		wg.Add(1)
+		d.kernelLaunches.Add(1)
+		d.tasks <- func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					st.setErr(fmt.Errorf("gpusim: kernel panic: %v", r))
+				}
+			}()
+			if abort != nil && abort.Load() {
+				return
+			}
+			kernel()
+		}
+	}
+
+	for ti := range tasks {
+		t := &tasks[ti]
+		st := &states[ti]
+		// Reset the (possibly pooled) state: distance kernels are seeded
+		// with the task's bound so they can prune against it from the
+		// first pair on.
+		st.hit.Store(false)
+		st.err.Store(nil)
+		seed := math.Inf(1)
+		if t.Kind == PairMinDist && t.Upper2 < seed {
+			seed = t.Upper2
+		}
+		st.best.bits.Store(math.Float64bits(seed))
+		switch t.Kind {
+		case PairHost:
+			runHostTask(st, t, abort)
+		case PairIntersect:
+			total := t.A.Len() * t.B.Len()
+			totalPairs += int64(total)
+			for start := 0; start < total; start += d.batchSize {
+				start := start
+				end := min(start+d.batchSize, total)
+				launch(st, func() {
+					if st.hit.Load() {
+						return
+					}
+					d.pairsEvaluated.Add(int64(end - start))
+					if geom.IntersectsBatchRange(t.A, t.B, start, end) {
+						st.hit.Store(true)
+					}
+				})
+			}
+		case PairMinDist:
+			total := t.A.Len() * t.B.Len()
+			totalPairs += int64(total)
+			for start := 0; start < total; start += d.batchSize {
+				start := start
+				end := min(start+d.batchSize, total)
+				launch(st, func() {
+					d.pairsEvaluated.Add(int64(end - start))
+					st.best.min(geom.MinDist2BatchRange(t.A, t.B, start, end, st.best.load()))
+				})
+			}
+		}
+	}
+	wg.Wait()
+
+	d.batch.batches.Add(1)
+	d.batch.batchPairs.Add(totalPairs)
+	d.batch.hist[histBucket(totalPairs)].Add(1)
+
+	for ti := range tasks {
+		st := &states[ti]
+		v := &verdicts[ti]
+		if ep := st.err.Load(); ep != nil {
+			*v = PairVerdict{Err: *ep}
+			continue
+		}
+		*v = PairVerdict{Hit: st.hit.Load(), D2: st.best.load()}
+	}
+}
+
+// runHostTask executes a PairHost closure inline with the same abort gate
+// and panic capture as a dispatched kernel.
+func runHostTask(st *taskState, t *PairTask, abort *atomic.Bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			st.setErr(fmt.Errorf("gpusim: kernel panic: %v", r))
+		}
+	}()
+	if abort != nil && abort.Load() {
+		return
+	}
+	v := t.Fn()
+	if v.Err != nil {
+		st.setErr(v.Err)
+		return
+	}
+	if v.Hit {
+		st.hit.Store(true)
+	}
+	st.best.min(v.D2)
+}
+
+// histBucket maps a batch's pair count to its power-of-two bucket index.
+func histBucket(pairs int64) int {
+	if pairs <= 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(pairs)) - 1
+	if b >= numHistBuckets {
+		b = numHistBuckets - 1
+	}
+	return b
+}
+
+// getStates returns a taskState slice of length n from the pool. States are
+// reset per task inside EvalPairBatch, so no zeroing happens here.
+func (d *Device) getStates(n int) []taskState {
+	if p, _ := d.statePool.Get().(*[]taskState); p != nil && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]taskState, n)
+}
+
+func (d *Device) putStates(s []taskState) {
+	d.statePool.Put(&s)
+}
+
+// GetVerdicts returns a pooled verdict slice of length n. Callers return it
+// with PutVerdicts once the verdicts have been consumed.
+func (d *Device) GetVerdicts(n int) []PairVerdict {
+	if p, _ := d.verdictPool.Get().(*[]PairVerdict); p != nil && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]PairVerdict, n)
+}
+
+// PutVerdicts returns a slice obtained from GetVerdicts to the pool.
+func (d *Device) PutVerdicts(v []PairVerdict) {
+	d.verdictPool.Put(&v)
+}
+
+// Stream is a double-buffered launch queue on a Device: Submit enqueues a
+// batch and returns once fewer than StreamDepth launches are in flight;
+// Collect returns completed launches in submission order. One goroutine
+// submits and one collects; the two may be (and in the pipeline are)
+// different goroutines.
+type Stream struct {
+	d        *Device
+	inflight chan *launch
+	abort    atomic.Bool
+
+	// OnBatchDone, when set before the first Submit, receives each
+	// launch's evaluation wall time. The callback runs on the launch
+	// goroutine and must be cheap and concurrency-safe.
+	OnBatchDone func(time.Duration)
+}
+
+type launch struct {
+	tasks    []PairTask
+	verdicts []PairVerdict
+	done     chan struct{}
+}
+
+// NewStream returns a stream with StreamDepth launch slots.
+func (d *Device) NewStream() *Stream {
+	return &Stream{d: d, inflight: make(chan *launch, StreamDepth)}
+}
+
+// Submit launches tasks asynchronously. It blocks while StreamDepth
+// launches are already in flight (submitted but not collected) — this is
+// the pipeline's backpressure point. The tasks slice must not be mutated
+// until Collect hands it back.
+func (s *Stream) Submit(tasks []PairTask) {
+	l := &launch{tasks: tasks, verdicts: s.d.GetVerdicts(len(tasks)), done: make(chan struct{})}
+	s.inflight <- l
+	go func() {
+		defer close(l.done)
+		t0 := time.Now()
+		s.d.EvalPairBatch(l.tasks, l.verdicts, &s.abort)
+		if s.OnBatchDone != nil {
+			s.OnBatchDone(time.Since(t0))
+		}
+	}()
+}
+
+// CloseSubmit signals that no further batches will be submitted. Collect
+// drains the in-flight launches and then reports ok=false.
+func (s *Stream) CloseSubmit() { close(s.inflight) }
+
+// Abort asks in-flight kernels to stop early. Launches still complete and
+// must still be collected; their verdicts are unspecified.
+func (s *Stream) Abort() { s.abort.Store(true) }
+
+// Collect returns the oldest in-flight launch's tasks and verdicts, waiting
+// for its kernels to finish. ok is false once the stream is closed and
+// drained. The verdict slice should be returned via Device.PutVerdicts
+// after processing.
+func (s *Stream) Collect() (tasks []PairTask, verdicts []PairVerdict, ok bool) {
+	l, open := <-s.inflight
+	if !open {
+		return nil, nil, false
+	}
+	<-l.done
+	return l.tasks, l.verdicts, true
+}

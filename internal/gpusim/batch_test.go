@@ -1,0 +1,169 @@
+package gpusim
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func randSoA(rng *rand.Rand, n int, cx float64) *TriPair {
+	ts := make([]geom.Triangle, n)
+	for i := range ts {
+		p := func() geom.Vec3 {
+			return geom.Vec3{
+				X: cx + (rng.Float64()*2-1)*2,
+				Y: (rng.Float64()*2 - 1) * 2,
+				Z: (rng.Float64()*2 - 1) * 2,
+			}
+		}
+		ts[i] = geom.Triangle{A: p(), B: p(), C: p()}
+	}
+	return &TriPair{Tris: ts, SoA: geom.SoAFromTriangles(ts)}
+}
+
+// TriPair bundles the AoS and SoA views for the reference comparisons.
+type TriPair struct {
+	Tris []geom.Triangle
+	SoA  *geom.TriSoA
+}
+
+func TestEvalPairBatchMatchesReference(t *testing.T) {
+	d := New(2, 64) // small batch size to force multi-kernel tasks
+	defer d.Close()
+	rng := rand.New(rand.NewSource(7))
+
+	for round := 0; round < 50; round++ {
+		sep := 5.0 * (1 - float64(round)/40.0)
+		a := randSoA(rng, 3+rng.Intn(15), 0)
+		b := randSoA(rng, 3+rng.Intn(15), sep)
+
+		wantHit := geom.IntersectsBatch(a.SoA, b.SoA)
+		wantD2 := geom.MinDist2Batch(a.SoA, b.SoA, math.Inf(1))
+
+		tasks := []PairTask{
+			{Kind: PairIntersect, A: a.SoA, B: b.SoA},
+			{Kind: PairMinDist, A: a.SoA, B: b.SoA, Upper2: math.Inf(1)},
+			{Kind: PairMinDist, A: a.SoA, B: b.SoA, Upper2: wantD2 * 0.5},
+		}
+		verdicts := make([]PairVerdict, len(tasks))
+		d.EvalPairBatch(tasks, verdicts, nil)
+
+		if verdicts[0].Hit != wantHit {
+			t.Fatalf("round %d: intersect verdict %v want %v", round, verdicts[0].Hit, wantHit)
+		}
+		if verdicts[1].D2 != wantD2 {
+			t.Fatalf("round %d: exact dist %v want %v", round, verdicts[1].D2, wantD2)
+		}
+		// Bound tighter than the true minimum: the seed must come back.
+		if wantD2 > 0 && verdicts[2].D2 != wantD2*0.5 {
+			t.Fatalf("round %d: bounded dist %v want seed %v", round, verdicts[2].D2, wantD2*0.5)
+		}
+	}
+	if d.BatchesDispatched() != 50 {
+		t.Fatalf("BatchesDispatched=%d want 50", d.BatchesDispatched())
+	}
+	buckets := d.PairsPerBatchBuckets()
+	if buckets[len(buckets)-1] != 50 {
+		t.Fatalf("+Inf bucket %d want 50", buckets[len(buckets)-1])
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] < buckets[i-1] {
+			t.Fatal("histogram buckets not cumulative")
+		}
+	}
+}
+
+func TestEvalPairBatchHostClosures(t *testing.T) {
+	d := New(2, 0)
+	defer d.Close()
+	boom := errors.New("boom")
+	tasks := []PairTask{
+		{Kind: PairHost, Fn: func() PairVerdict { return PairVerdict{Hit: true} }},
+		{Kind: PairHost, Fn: func() PairVerdict { return PairVerdict{D2: 2.5} }},
+		{Kind: PairHost, Fn: func() PairVerdict { return PairVerdict{Err: boom} }},
+		{Kind: PairHost, Fn: func() PairVerdict { panic("kernel oops") }},
+	}
+	verdicts := make([]PairVerdict, len(tasks))
+	d.EvalPairBatch(tasks, verdicts, nil)
+	if !verdicts[0].Hit {
+		t.Fatal("host hit verdict lost")
+	}
+	if verdicts[1].D2 != 2.5 {
+		t.Fatalf("host dist verdict %v want 2.5", verdicts[1].D2)
+	}
+	if !errors.Is(verdicts[2].Err, boom) {
+		t.Fatalf("host error verdict %v want boom", verdicts[2].Err)
+	}
+	if verdicts[3].Err == nil {
+		t.Fatal("kernel panic not captured into verdict")
+	}
+}
+
+func TestStreamOrderAndBackpressure(t *testing.T) {
+	d := New(1, 0)
+	defer d.Close()
+	s := d.NewStream()
+
+	// Submit more launches than StreamDepth from a second goroutine; the
+	// main goroutine collects in order. Tags prove FIFO delivery.
+	const n = StreamDepth * 3
+	go func() {
+		for i := 0; i < n; i++ {
+			s.Submit([]PairTask{{Kind: PairHost, Tag: i, Fn: func() PairVerdict { return PairVerdict{Hit: true} }}})
+		}
+		s.CloseSubmit()
+	}()
+	for i := 0; i < n; i++ {
+		tasks, verdicts, ok := s.Collect()
+		if !ok {
+			t.Fatalf("stream drained after %d launches, want %d", i, n)
+		}
+		if got := tasks[0].Tag.(int); got != i {
+			t.Fatalf("launch %d collected out of order (tag %d)", i, got)
+		}
+		if !verdicts[0].Hit {
+			t.Fatal("verdict lost in stream")
+		}
+		d.PutVerdicts(verdicts)
+	}
+	if _, _, ok := s.Collect(); ok {
+		t.Fatal("Collect reported a launch after drain")
+	}
+}
+
+func TestStreamAbortStopsKernels(t *testing.T) {
+	d := New(2, 8)
+	defer d.Close()
+	s := d.NewStream()
+
+	var ran atomic.Int64
+	// A wide SoA task: many kernels. Abort before submission; every kernel
+	// must see the flag and return without evaluating.
+	rng := rand.New(rand.NewSource(9))
+	a := randSoA(rng, 40, 0)
+	b := randSoA(rng, 40, 100)
+	s.Abort()
+	before := d.PairsEvaluated()
+	s.Submit([]PairTask{
+		{Kind: PairMinDist, A: a.SoA, B: b.SoA, Upper2: math.Inf(1)},
+		{Kind: PairHost, Fn: func() PairVerdict { ran.Add(1); return PairVerdict{} }},
+	})
+	s.CloseSubmit()
+	for {
+		_, verdicts, ok := s.Collect()
+		if !ok {
+			break
+		}
+		d.PutVerdicts(verdicts)
+	}
+	if got := d.PairsEvaluated() - before; got != 0 {
+		t.Fatalf("aborted stream still evaluated %d pairs", got)
+	}
+	if ran.Load() != 0 {
+		t.Fatal("aborted stream still ran host closure")
+	}
+}

@@ -42,6 +42,12 @@ type Device struct {
 	// in the benchmark harness.
 	kernelLaunches atomic.Int64
 	pairsEvaluated atomic.Int64
+
+	// Batch-executor state (see batch.go): dispatch accounting plus pools
+	// for the per-launch scratch so steady-state batches allocate nothing.
+	batch       batchStats
+	statePool   sync.Pool
+	verdictPool sync.Pool
 }
 
 // New returns a device with the given number of kernel workers (defaults to

@@ -51,6 +51,30 @@ func Build(tris []geom.Triangle) *Tree {
 	return t
 }
 
+// BuildSoA constructs a tree from an SoA triangle set, reusing the
+// precomputed per-triangle bounding boxes in its lanes instead of
+// recomputing Bounds for every face. The SoA is not retained.
+func BuildSoA(s *geom.TriSoA) *Tree {
+	n := s.Len()
+	t := &Tree{
+		tris:  make([]geom.Triangle, n),
+		boxes: make([]geom.Box3, n),
+		root:  -1,
+	}
+	for i := 0; i < n; i++ {
+		t.tris[i] = s.At(i)
+		t.boxes[i] = geom.Box3{
+			Min: geom.Vec3{X: s.MinX[i], Y: s.MinY[i], Z: s.MinZ[i]},
+			Max: geom.Vec3{X: s.MaxX[i], Y: s.MaxY[i], Z: s.MaxZ[i]},
+		}
+	}
+	if n > 0 {
+		t.nodes = make([]node, 0, 2*n/maxLeafSize+1)
+		t.root = t.build(0, int32(n))
+	}
+	return t
+}
+
 // NumTriangles returns the number of indexed triangles.
 func (t *Tree) NumTriangles() int { return len(t.tris) }
 

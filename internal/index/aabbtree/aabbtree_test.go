@@ -288,3 +288,39 @@ func TestDistToTreeBounded(t *testing.T) {
 		}
 	}
 }
+
+func TestBuildSoAMatchesBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tris := randomTris(rng, 200, 20, 2)
+	aos := Build(tris)
+	soa := BuildSoA(geom.SoAFromTriangles(tris))
+
+	if soa.NumTriangles() != aos.NumTriangles() {
+		t.Fatalf("NumTriangles = %d want %d", soa.NumTriangles(), aos.NumTriangles())
+	}
+	if soa.Bounds() != aos.Bounds() {
+		t.Fatalf("Bounds = %v want %v", soa.Bounds(), aos.Bounds())
+	}
+	// Both constructions must answer identically: same split rule over the
+	// same boxes yields the same tree, so query results agree exactly.
+	for trial := 0; trial < 100; trial++ {
+		other := BuildSoA(geom.SoAFromTriangles(randomTris(rng, 30, 20, 2)))
+		if got, want := soa.IntersectsTree(other), aos.IntersectsTree(other); got != want {
+			t.Fatalf("trial %d: IntersectsTree = %v want %v", trial, got, want)
+		}
+		if got, want := soa.DistToTree(other), aos.DistToTree(other); got != want {
+			t.Fatalf("trial %d: DistToTree = %v want %v", trial, got, want)
+		}
+		p := geom.V(rng.Float64()*20, rng.Float64()*20, rng.Float64()*20)
+		if got, want := soa.ContainsPoint(p), aos.ContainsPoint(p); got != want {
+			t.Fatalf("trial %d: ContainsPoint = %v want %v", trial, got, want)
+		}
+	}
+}
+
+func TestBuildSoAEmpty(t *testing.T) {
+	tr := BuildSoA(geom.SoAFromTriangles(nil))
+	if tr.NumTriangles() != 0 || !tr.Bounds().IsEmpty() {
+		t.Fatal("empty SoA tree not empty")
+	}
+}

@@ -29,6 +29,10 @@ type Mesh struct {
 	// tris lazily memoizes the materialized triangle slice for read-only
 	// meshes (decoded LODs queried many times). Mutating methods drop it.
 	tris atomic.Pointer[[]geom.Triangle]
+
+	// soa lazily memoizes the struct-of-arrays triangle layout consumed by
+	// the batch refinement executor. Same lifecycle as tris.
+	soa atomic.Pointer[geom.TriSoA]
 }
 
 // New returns an empty mesh with the given capacities pre-allocated.
@@ -88,8 +92,39 @@ func (m *Mesh) TrianglesCached() []geom.Triangle {
 	return t
 }
 
-// invalidateTriangles drops the memoized triangle slice after a mutation.
-func (m *Mesh) invalidateTriangles() { m.tris.Store(nil) }
+// SoA returns the struct-of-arrays triangle layout for the current mesh
+// state, building it at most once per state and sharing the result across
+// callers. The packing reuses TrianglesCached, so a mesh queried through
+// both representations materializes each exactly once. The returned value
+// is read-only; mutating methods drop it along with the triangle memo.
+// Concurrent first calls may race to build; the duplicate work is benign
+// and bounded to one extra packing.
+func (m *Mesh) SoA() *geom.TriSoA {
+	if p := m.soa.Load(); p != nil {
+		return p
+	}
+	s := geom.SoAFromTriangles(m.TrianglesCached())
+	m.soa.Store(s)
+	return s
+}
+
+// FootprintBytes estimates the resident size of the mesh plus whatever
+// derived memos (triangle slice, SoA lanes) are currently materialized.
+// The cache uses it to account for decoded objects.
+func (m *Mesh) FootprintBytes() int64 {
+	b := int64(len(m.Vertices))*24 + int64(len(m.Faces))*12
+	if p := m.tris.Load(); p != nil {
+		b += int64(len(*p)) * 72
+	}
+	b += m.soa.Load().Bytes()
+	return b
+}
+
+// invalidateTriangles drops the memoized derived layouts after a mutation.
+func (m *Mesh) invalidateTriangles() {
+	m.tris.Store(nil)
+	m.soa.Store(nil)
+}
 
 // Bounds returns the mesh's minimal bounding box (MBB).
 func (m *Mesh) Bounds() geom.Box3 {

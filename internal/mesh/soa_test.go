@@ -1,0 +1,73 @@
+package mesh
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func tetra() *Mesh {
+	m := New(4, 4)
+	m.Vertices = []geom.Vec3{{}, {X: 1}, {Y: 1}, {Z: 1}}
+	m.Faces = []Face{{0, 2, 1}, {0, 1, 3}, {0, 3, 2}, {1, 2, 3}}
+	return m
+}
+
+func TestSoAMatchesTriangles(t *testing.T) {
+	m := tetra()
+	s := m.SoA()
+	if s.Len() != m.NumFaces() {
+		t.Fatalf("SoA len %d want %d", s.Len(), m.NumFaces())
+	}
+	for i := 0; i < m.NumFaces(); i++ {
+		if s.At(i) != m.Triangle(i) {
+			t.Fatalf("face %d: SoA %v want %v", i, s.At(i), m.Triangle(i))
+		}
+	}
+	if again := m.SoA(); again != s {
+		t.Fatal("SoA not memoized: second call returned a different packing")
+	}
+}
+
+func TestSoAInvalidatedByTransforms(t *testing.T) {
+	m := tetra()
+	before := m.SoA()
+	m.Translate(geom.Vec3{X: 3})
+	after := m.SoA()
+	if after == before {
+		t.Fatal("Translate did not invalidate the SoA memo")
+	}
+	if got, want := after.At(0), m.Triangle(0); got != want {
+		t.Fatalf("post-translate SoA stale: %v want %v", got, want)
+	}
+	m.Scale(2)
+	scaled := m.SoA()
+	if scaled == after {
+		t.Fatal("Scale did not invalidate the SoA memo")
+	}
+	if got, want := scaled.At(2), m.Triangle(2); got != want {
+		t.Fatalf("post-scale SoA stale: %v want %v", got, want)
+	}
+}
+
+func TestFootprintBytesGrowsWithMemos(t *testing.T) {
+	m := tetra()
+	base := m.FootprintBytes()
+	if base != int64(len(m.Vertices))*24+int64(len(m.Faces))*12 {
+		t.Fatalf("cold footprint %d unexpected", base)
+	}
+	m.TrianglesCached()
+	withTris := m.FootprintBytes()
+	if withTris != base+int64(m.NumFaces())*72 {
+		t.Fatalf("footprint with tris %d want %d", withTris, base+int64(m.NumFaces())*72)
+	}
+	m.SoA()
+	withSoA := m.FootprintBytes()
+	if withSoA != withTris+int64(m.NumFaces())*15*8 {
+		t.Fatalf("footprint with SoA %d want %d", withSoA, withTris+int64(m.NumFaces())*15*8)
+	}
+	m.Translate(geom.Vec3{Y: 1})
+	if got := m.FootprintBytes(); got != base {
+		t.Fatalf("footprint after invalidation %d want %d", got, base)
+	}
+}

@@ -427,11 +427,15 @@ type statsJSON struct {
 	// Warm-start counters: misses that resumed a retained progressive
 	// decoder, decode rounds replayed, and rounds the resumes skipped
 	// (cold cost = rounds_applied + rounds_skipped).
-	WarmStarts    int64   `json:"warm_starts"`
-	RoundsApplied int64   `json:"rounds_applied"`
-	RoundsSkipped int64   `json:"rounds_skipped"`
-	Evaluated     []int64 `json:"pairs_evaluated_per_lod"`
-	Pruned        []int64 `json:"pairs_pruned_per_lod"`
+	WarmStarts    int64 `json:"warm_starts"`
+	RoundsApplied int64 `json:"rounds_applied"`
+	RoundsSkipped int64 `json:"rounds_skipped"`
+	// Batch-pipeline counters: device batches the refine stage dispatched
+	// and the face pairs those batches spanned (0 under ExecPerPair).
+	BatchesDispatched int64   `json:"batches_dispatched"`
+	BatchPairs        int64   `json:"batch_pairs"`
+	Evaluated         []int64 `json:"pairs_evaluated_per_lod"`
+	Pruned            []int64 `json:"pairs_pruned_per_lod"`
 	// Partial-failure accounting (degrade policy). The response's pairs are
 	// the certain answer; uncertain lists relations a failure left
 	// unsettled (source -1 = unknown candidate set of that target) and
@@ -489,26 +493,28 @@ func statsOut(st *core.Stats) statsJSON {
 
 func baseStatsOut(st *core.Stats) statsJSON {
 	return statsJSON{
-		ElapsedMS:       float64(st.Elapsed) / float64(time.Millisecond),
-		FilterMS:        float64(st.FilterTime) / float64(time.Millisecond),
-		DecodeMS:        float64(st.DecodeTime) / float64(time.Millisecond),
-		GeomMS:          float64(st.GeomTime) / float64(time.Millisecond),
-		Candidates:      st.Candidates,
-		Results:         st.Results,
-		Decodes:         st.Decodes,
-		CacheHits:       st.CacheHits,
-		WarmStarts:      st.WarmStarts,
-		RoundsApplied:   st.RoundsApplied,
-		RoundsSkipped:   st.RoundsSkipped,
-		Evaluated:       st.PairsEvaluated,
-		Pruned:          st.PairsPruned,
-		Uncertain:       st.Uncertain,
-		UncertainIDs:    st.UncertainIDs,
-		Degraded:        st.Degraded,
-		QuarantineSkips: st.QuarantineSkips,
-		DecodeRetries:   st.DecodeRetries,
-		DecodeFailures:  st.DecodeFailures,
-		Trace:           st.Trace,
+		ElapsedMS:         float64(st.Elapsed) / float64(time.Millisecond),
+		FilterMS:          float64(st.FilterTime) / float64(time.Millisecond),
+		DecodeMS:          float64(st.DecodeTime) / float64(time.Millisecond),
+		GeomMS:            float64(st.GeomTime) / float64(time.Millisecond),
+		Candidates:        st.Candidates,
+		Results:           st.Results,
+		Decodes:           st.Decodes,
+		CacheHits:         st.CacheHits,
+		WarmStarts:        st.WarmStarts,
+		RoundsApplied:     st.RoundsApplied,
+		RoundsSkipped:     st.RoundsSkipped,
+		BatchesDispatched: st.BatchesDispatched,
+		BatchPairs:        st.BatchPairs,
+		Evaluated:         st.PairsEvaluated,
+		Pruned:            st.PairsPruned,
+		Uncertain:         st.Uncertain,
+		UncertainIDs:      st.UncertainIDs,
+		Degraded:          st.Degraded,
+		QuarantineSkips:   st.QuarantineSkips,
+		DecodeRetries:     st.DecodeRetries,
+		DecodeFailures:    st.DecodeFailures,
+		Trace:             st.Trace,
 	}
 }
 
