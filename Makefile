@@ -19,7 +19,7 @@ BENCHMERGE ?=
 # catches order-of-magnitude regressions, not percent-level drift.
 SMOKE_THRESHOLD ?= 200
 
-.PHONY: build test vet lint staticcheck govulncheck race fuzz-short fuzz chaos-short ci bench bench-smoke
+.PHONY: build test vet lint lint-fixtures staticcheck govulncheck race fuzz-short fuzz chaos-short ci bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -30,10 +30,17 @@ vet:
 test:
 	$(GO) test ./...
 
-# Project-specific analyzers (hotalloc, ctxflow, atomiccounter, floateq).
+# Project-specific analyzers (hotalloc, ctxflow, atomiccounter, floateq,
+# goleak, lockbalance, chandiscipline, wgbalance, statsexhaustive).
 # Fails on any unsuppressed finding; see README "Static analysis".
 lint:
 	$(GO) run ./cmd/3dpro-lint ./...
+
+# The analyzers' own test suites: every `// want` fixture, the CFG layer's
+# unit tests, and the suppression-parser tables. -short skips the
+# whole-repo smoke run, which `make lint` already covers.
+lint-fixtures:
+	$(GO) test -short ./internal/analysis/...
 
 # Pinned staticcheck; skips (with a visible notice) when the module is not
 # fetchable, e.g. offline with a cold module cache. CI has network and
@@ -58,12 +65,13 @@ race:
 
 # Run just the seed corpus of every fuzz target (fast, deterministic; what CI runs).
 fuzz-short:
-	$(GO) test -run='^Fuzz' ./internal/ppvp ./internal/storage
+	$(GO) test -run='^Fuzz' ./internal/ppvp ./internal/storage ./internal/analysis
 
 # Actual coverage-guided fuzzing, $(FUZZTIME) per target.
 fuzz:
 	$(GO) test -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/ppvp
 	$(GO) test -fuzz=FuzzDecodeTile -fuzztime=$(FUZZTIME) ./internal/storage
+	$(GO) test -fuzz=FuzzCollectSuppressions -fuzztime=$(FUZZTIME) ./internal/analysis
 
 # Seeded chaos campaign under the race detector: $(CHAOSTIME) of fresh-seed
 # iterations of TestChaosCampaignExtended (corrupt tiles + probabilistic

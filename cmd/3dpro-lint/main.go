@@ -4,9 +4,12 @@
 //
 // Usage:
 //
-//	3dpro-lint [-run regexp] [-v] [packages ...]
+//	3dpro-lint [-run names] [-v] [packages ...]
 //
-// With no packages, ./... is analyzed. Findings print in the familiar
+// -run takes a comma-separated list of anchored analyzer-name regexps
+// (`goleak`, `goleak,wgbalance`, `.*balance`); an element matching no
+// registered analyzer is an error, never a silent no-op. With no packages,
+// ./... is analyzed. Findings print in the familiar
 // file:line:col vet format. Vetted false positives are silenced in the
 // source with
 //
@@ -27,7 +30,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "", "regexp selecting which analyzers to run (default: all)")
+	run := flag.String("run", "", "comma-separated anchored regexps selecting analyzers (default: all)")
 	list := flag.Bool("list", false, "list registered analyzers and exit")
 	verbose := flag.Bool("v", false, "also print suppressed findings")
 	flag.Usage = func() {

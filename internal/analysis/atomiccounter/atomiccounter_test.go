@@ -10,5 +10,7 @@ import (
 func TestAtomicCounter(t *testing.T) {
 	analysistest.Run(t, "testdata", atomiccounter.Analyzer,
 		"c/internal/stats",
+		"c/internal/shard",
+		"c/internal/gpusim",
 	)
 }

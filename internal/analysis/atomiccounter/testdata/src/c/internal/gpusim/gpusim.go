@@ -1,0 +1,22 @@
+// Package gpusim is the atomiccounter fixture for the simulated device tier
+// (issue 8): stream completion counters are shared between the device worker
+// and the collector goroutine.
+package gpusim
+
+import "sync/atomic"
+
+type streamStats struct {
+	Completed int64
+	Dropped   int64
+}
+
+func (s *streamStats) complete() {
+	atomic.AddInt64(&s.Completed, 1)
+}
+
+func (s *streamStats) drain() int64 {
+	n := atomic.LoadInt64(&s.Completed)
+	s.Completed = 0 // want "field streamStats.Completed is accessed with sync/atomic elsewhere"
+	s.Dropped = 0   // Dropped is plain everywhere: no finding
+	return n
+}

@@ -1,0 +1,32 @@
+// Package shard is the atomiccounter fixture for the coordinator tier
+// (issue 8): hedging counters are bumped from racing attempt goroutines, so
+// one plain increment next to the atomic ones is a data race.
+package shard
+
+import "sync/atomic"
+
+type hedgeStats struct {
+	Launched int64
+	Won      int64
+	Local    int64 // never touched atomically: plain access is fine
+}
+
+func (h *hedgeStats) launch() {
+	atomic.AddInt64(&h.Launched, 1)
+}
+
+func (h *hedgeStats) record(won bool) {
+	if won {
+		h.Won++ // want "field hedgeStats.Won is accessed with sync/atomic elsewhere"
+	}
+	h.Local++
+}
+
+func (h *hedgeStats) snapshot() (int64, int64) {
+	atomic.AddInt64(&h.Won, 0)
+	return atomic.LoadInt64(&h.Launched), h.Launched // want "field hedgeStats.Launched is accessed with sync/atomic elsewhere"
+}
+
+func newHedgeStats() *hedgeStats {
+	return &hedgeStats{Launched: 0} // composite-literal init: exempt
+}

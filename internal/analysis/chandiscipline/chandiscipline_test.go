@@ -1,0 +1,14 @@
+package chandiscipline_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/chandiscipline"
+)
+
+func TestChanDiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata", chandiscipline.Analyzer,
+		"c/internal/shard",
+	)
+}

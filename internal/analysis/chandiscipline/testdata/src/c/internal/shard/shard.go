@@ -1,0 +1,115 @@
+package shard
+
+import "context"
+
+type result struct{ n int }
+
+// bareSendCancelable: blocking send in a ctx-taking function.
+func bareSendCancelable(ctx context.Context, out chan result) {
+	out <- result{} // want "blocking send in a cancelable path"
+}
+
+// okSelectSend has a cancellation arm.
+func okSelectSend(ctx context.Context, out chan result) {
+	select {
+	case out <- result{}:
+	case <-ctx.Done():
+	}
+}
+
+// okSelectDefault cannot block either.
+func okSelectDefault(ctx context.Context, out chan result) {
+	select {
+	case out <- result{}:
+	default:
+	}
+}
+
+// singleArmSelect is equivalent to a bare send.
+func singleArmSelect(ctx context.Context, out chan result) {
+	select {
+	case out <- result{}: // want "blocking send in a cancelable path"
+	}
+}
+
+// okResultChannel: the constant-capacity local channel idiom (buffered to
+// the number of sends) can never block.
+func okResultChannel(ctx context.Context) result {
+	ch := make(chan result, 2)
+	for i := 0; i < 2; i++ {
+		go func() { ch <- result{n: 1} }()
+	}
+	return <-ch
+}
+
+// okNoCtx: without a context there is no cancelable path to protect.
+func okNoCtx(out chan result) {
+	out <- result{}
+}
+
+// sendInGoroutine: the literal inherits the enclosing cancelability, and
+// `out` was not made locally.
+func sendInGoroutine(ctx context.Context, out chan result) {
+	go func() {
+		out <- result{} // want "blocking send in a cancelable path"
+	}()
+}
+
+// closeParam: a callee must not close a channel it was handed.
+func closeParam(out chan result) {
+	close(out) // want "close of channel received as a parameter"
+}
+
+// owner holds a channel nothing ever closes.
+type owner struct {
+	events chan result
+	feed   chan result
+}
+
+// rangeNeverClosed: the events channel has no close anywhere in the
+// package and the loop has no exit statement.
+func (o *owner) rangeNeverClosed() {
+	for ev := range o.events { // want "nothing in this package ever closes"
+		_ = ev
+	}
+}
+
+// rangeWithBreak can exit even if nothing closes the channel.
+func (o *owner) rangeWithBreak() {
+	for ev := range o.events {
+		if ev.n < 0 {
+			break
+		}
+	}
+}
+
+// rangeClosedElsewhere: feed is closed in shutdown, so the loop ends.
+func (o *owner) rangeClosedElsewhere() {
+	for ev := range o.feed {
+		_ = ev
+	}
+}
+
+func (o *owner) shutdown() {
+	close(o.feed)
+}
+
+// rangeParam: a parameter channel is closed by the caller — exempt.
+func rangeParam(in chan result) {
+	for ev := range in {
+		_ = ev
+	}
+}
+
+// nestedBreakDoesNotCount: the break leaves the inner select, not the
+// range loop.
+func (o *owner) nestedBreakDoesNotCount(stop chan struct{}) {
+	for ev := range o.events { // want "nothing in this package ever closes"
+		select {
+		case <-stop:
+			break
+		default:
+		}
+		_ = ev
+	}
+}

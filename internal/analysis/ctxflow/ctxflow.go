@@ -31,14 +31,18 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "ctxflow",
 	Doc: "forbid dropping or replacing an incoming context.Context on the query path\n\n" +
-		"In internal/core, internal/server, and internal/shard, functions that receive\n" +
+		"In internal/core, internal/server, internal/shard, and internal/gpusim,\n" +
+		"functions that receive\n" +
 		"a context must use it, must not rebase work onto context.Background()/\n" +
 		"context.TODO() (except the nil-guard idiom), and request handlers must derive\n" +
 		"from r.Context().",
 	Run: run,
 }
 
-var scopePackages = []string{"internal/core", "internal/server", "internal/shard"}
+// internal/gpusim joined in issue 8: device submissions and collectors take
+// the query context so an abort tears the stream down; dropping or rebasing
+// it would leave device work running after the query died.
+var scopePackages = []string{"internal/core", "internal/server", "internal/shard", "internal/gpusim"}
 
 func run(pass *analysis.Pass) error {
 	if !analysis.PathHasAnySuffix(pass.PkgPath, scopePackages...) {

@@ -12,5 +12,6 @@ func TestCtxFlow(t *testing.T) {
 		"b/internal/core",
 		"b/internal/server",
 		"b/internal/shard",
+		"b/internal/gpusim",
 	)
 }

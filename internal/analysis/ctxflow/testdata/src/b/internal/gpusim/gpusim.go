@@ -1,0 +1,34 @@
+// Package gpusim is the ctxflow fixture for the simulated device tier,
+// brought into scope by issue 8: submissions and collectors take the query
+// context so an abort tears the stream down promptly.
+package gpusim
+
+import "context"
+
+type stream struct{}
+
+func (s *stream) submit(ctx context.Context, batch []float32) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}
+
+// submitGood threads the query context through: no finding.
+func submitGood(ctx context.Context, s *stream, batch []float32) error {
+	return s.submit(ctx, batch)
+}
+
+// submitDropped takes the context and ignores it: the device keeps chewing
+// on batches after the query died.
+func submitDropped(ctx context.Context, s *stream, batch []float32) error { // want "never uses its incoming context.Context"
+	return s.submit(context.TODO(), batch) // want "replaces its incoming context with context.TODO"
+}
+
+// collectRebased detaches the collector from the query deadline.
+func collectRebased(ctx context.Context, s *stream) error {
+	_ = ctx
+	return s.submit(context.Background(), nil) // want "replaces its incoming context with context.Background"
+}

@@ -1,0 +1,29 @@
+package core
+
+import "context"
+
+// Scoping: in internal/core only pipeline.go is checked.
+
+type work struct{ id int }
+
+func stageLeak(ctx context.Context, in chan work) {
+	go func() { // want "no termination path"
+		for {
+			w := <-in
+			_ = w
+		}
+	}()
+}
+
+func stageOK(ctx context.Context, in chan work) {
+	go func() {
+		for {
+			select {
+			case w := <-in:
+				_ = w
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}

@@ -1,0 +1,103 @@
+package shard
+
+import "context"
+
+type result struct{ n int }
+
+// leakForever launches a goroutine with no exit path at all.
+func leakForever(ch chan result) {
+	go func() { // want "no termination path"
+		for {
+			select {
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+// leakEmptySelect blocks forever immediately.
+func leakEmptySelect() {
+	go func() { // want "no termination path"
+		select {}
+	}()
+}
+
+// okCtxDone exits through the ctx.Done arm.
+func okCtxDone(ctx context.Context, ch chan result) {
+	go func() {
+		for {
+			select {
+			case v := <-ch:
+				_ = v
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// okRange terminates when the owner closes the channel.
+func okRange(ch chan result) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// okLabeledBreak exits via a labeled break out of the select loop.
+func okLabeledBreak(ch chan result, done chan struct{}) {
+	go func() {
+	loop:
+		for {
+			select {
+			case v := <-ch:
+				_ = v
+			case <-done:
+				break loop
+			}
+		}
+	}()
+}
+
+// leakSelectBreak: a bare break only leaves the select, not the loop.
+func leakSelectBreak(done chan struct{}) {
+	go func() { // want "no termination path"
+		for {
+			select {
+			case <-done:
+				break
+			}
+		}
+	}()
+}
+
+// named goroutine bodies are resolved within the package.
+func pump(ch chan result) {
+	for {
+		ch <- result{}
+	}
+}
+
+func leakNamed(ch chan result) {
+	go pump(ch) // want "no termination path"
+}
+
+// okConditionalReturn exits on every branch: one arm returns, the other
+// falls through to the return after the loop via break.
+func okConditionalReturn(ch chan result, stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case v, ok := <-ch:
+				if !ok {
+					return
+				}
+				_ = v
+			case <-stop:
+				return
+			}
+		}
+	}()
+}

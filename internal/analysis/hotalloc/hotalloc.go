@@ -34,7 +34,8 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "hotalloc",
 	Doc: "forbid mesh.Triangles() and per-pair slice allocation on the refine hot path\n\n" +
-		"In internal/core and internal/index/aabbtree, (*mesh.Mesh).Triangles() must be\n" +
+		"In internal/core, internal/index/aabbtree, internal/shard, and internal/gpusim,\n" +
+		"(*mesh.Mesh).Triangles() must be\n" +
 		"(*mesh.Mesh).TrianglesCached(), functions reachable from runPerTarget\n" +
 		"callbacks must not allocate slices (use per-worker scratch or a pool), and\n" +
 		"goroutines launched by pipeline drivers (functions calling NewStream) must\n" +
@@ -43,8 +44,11 @@ var Analyzer = &analysis.Analyzer{
 }
 
 // hotPackages are the path-segment suffixes of packages on the refine hot
-// path. Fixture packages match by the same suffixes.
-var hotPackages = []string{"internal/core", "internal/index/aabbtree"}
+// path. Fixture packages match by the same suffixes. internal/shard and
+// internal/gpusim joined in issue 8: the coordinator's merge path and the
+// simulated device's stage goroutines run per query and per batch
+// respectively, so the same allocation discipline applies.
+var hotPackages = []string{"internal/core", "internal/index/aabbtree", "internal/shard", "internal/gpusim"}
 
 func run(pass *analysis.Pass) error {
 	if !analysis.PathHasAnySuffix(pass.PkgPath, hotPackages...) {

@@ -1,0 +1,60 @@
+// Package gpusim is the hotalloc fixture for the simulated device tier,
+// brought into scope by issue 8: the device's own stage goroutines (launched
+// by NewStream-calling drivers) run once per batch and must recycle their
+// buffers exactly like the core pipeline's stages.
+package gpusim
+
+import "sync"
+
+type stream struct{ submitted int }
+
+func (s *stream) Submit(batch []float32) { s.submitted += len(batch) }
+
+type device struct{}
+
+func (d *device) NewStream() *stream { return &stream{} }
+
+var batchPool = sync.Pool{New: func() any { b := make([]float32, 0, 16); return &b }}
+
+// Collect is the positive fixture: the gather goroutine builds a fresh
+// result slice per batch.
+func Collect(d *device, n int) {
+	st := d.NewStream()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < n; i++ {
+			out := make([]float32, 0, 16) // want "slice allocation reachable from a pipeline stage goroutine"
+			out = append(out, float32(i))
+			st.Submit(out)
+		}
+	}()
+	<-done
+}
+
+// CollectPooled is the sanctioned shape: batch buffers cycle through a pool.
+func CollectPooled(d *device, n int) {
+	st := d.NewStream()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < n; i++ {
+			bp := batchPool.Get().(*[]float32)
+			out := (*bp)[:0]
+			out = append(out, float32(i))
+			st.Submit(out)
+			*bp = out
+			batchPool.Put(bp)
+		}
+	}()
+	<-done
+}
+
+// warmup allocates at driver level, before any stage goroutine: per-query,
+// not per-batch, so no finding.
+func warmup(d *device) []float32 {
+	st := d.NewStream()
+	seed := make([]float32, 4)
+	st.Submit(seed)
+	return seed
+}

@@ -1,0 +1,266 @@
+// Package statsexhaustive guards the Σ-invariant plumbing: every field of
+// core.Stats, every per-query cache.Counters counter, and every field of
+// the server's statsJSON mirror must be handled wherever stats are merged,
+// printed, or serialized. A counter added to core.Stats that skips
+// (*Stats).Merge silently breaks PR 6's "coordinator totals == Σ per-shard
+// Stats" invariant; one that skips the statsJSON mirror silently vanishes
+// from the API.
+//
+// Concretely, in internal/core:
+//
+//   - every Stats field must be referenced in (*Stats).Merge;
+//   - every Stats field must be referenced in (*Stats).String;
+//   - every field of a cache.Counters-typed struct field (the per-query
+//     attribution sink) must be read somewhere in the package — an
+//     unconsumed counter means attribution is silently dropped.
+//
+// And in internal/server:
+//
+//   - every statsJSON field must be assigned by the mirror functions
+//     (those returning statsJSON), and every core.Stats field must be read
+//     by them, so the JSON round-trip tracks the struct in both
+//     directions.
+package statsexhaustive
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "statsexhaustive",
+	Doc: "core.Stats, cache.Counters, and statsJSON fields must be handled exhaustively\n\n" +
+		"Every Stats field appears in Merge and String; every per-query cache.Counters\n" +
+		"counter is consumed by the engine; every statsJSON field is assigned (and every\n" +
+		"Stats field read) by the server's mirror functions. A field that skips Merge\n" +
+		"breaks the shard Σ-invariant silently; one that skips the mirror vanishes\n" +
+		"from the API.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	switch {
+	case analysis.PathHasSuffix(pass.PkgPath, "internal/core"):
+		checkStatsMethods(pass)
+		checkCountersConsumed(pass)
+	case analysis.PathHasSuffix(pass.PkgPath, "internal/server"):
+		checkMirror(pass)
+	}
+	return nil
+}
+
+// statsFields returns core.Stats' field objects, from this package's scope
+// (core) or an imported package (server).
+func statsStruct(pkg *types.Package) []*types.Var {
+	lookup := func(p *types.Package) []*types.Var {
+		obj := p.Scope().Lookup("Stats")
+		if obj == nil {
+			return nil
+		}
+		st, ok := obj.Type().Underlying().(*types.Struct)
+		if !ok {
+			return nil
+		}
+		fields := make([]*types.Var, 0, st.NumFields())
+		for i := 0; i < st.NumFields(); i++ {
+			fields = append(fields, st.Field(i))
+		}
+		return fields
+	}
+	if analysis.PathHasSuffix(pkg.Path(), "internal/core") {
+		return lookup(pkg)
+	}
+	for _, imp := range pkg.Imports() {
+		if analysis.PathHasSuffix(imp.Path(), "internal/core") {
+			return lookup(imp)
+		}
+	}
+	return nil
+}
+
+// fieldRefs collects, into refs, every struct field object selected or
+// keyed anywhere under n: plain selector uses (s.F, read or write) and
+// composite-literal keys (T{F: v}).
+func fieldRefs(pass *analysis.Pass, n ast.Node, refs map[*types.Var]bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := pass.Info.Selections[m]; ok && sel.Kind() == types.FieldVal {
+				if v, ok := sel.Obj().(*types.Var); ok {
+					refs[v] = true
+				}
+			}
+		case *ast.KeyValueExpr:
+			if id, ok := m.Key.(*ast.Ident); ok {
+				if v, ok := pass.Info.Uses[id].(*types.Var); ok && v.IsField() {
+					refs[v] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// methodBody finds the body of the method with the given name on the named
+// receiver type (pointer or value receiver).
+func methodBody(pass *analysis.Pass, typeName, method string) *ast.FuncDecl {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != method || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			t := pass.Info.Types[fd.Recv.List[0].Type].Type
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok && named.Obj().Name() == typeName {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// checkStatsMethods verifies every Stats field is referenced in Merge and
+// in String. Diagnostics anchor at the field declaration so a vetted
+// omission can carry a //lint:ignore there.
+func checkStatsMethods(pass *analysis.Pass) {
+	fields := statsStruct(pass.Pkg)
+	if len(fields) == 0 {
+		return
+	}
+	for _, method := range []string{"Merge", "String"} {
+		fd := methodBody(pass, "Stats", method)
+		if fd == nil || fd.Body == nil {
+			continue // no such method in this (fixture) package
+		}
+		refs := make(map[*types.Var]bool)
+		fieldRefs(pass, fd.Body, refs)
+		for _, f := range fields {
+			if !refs[f] {
+				pass.Reportf(f.Pos(),
+					"Stats.%s is not handled in (*Stats).%s; every Stats field must be %s (or carry a reasoned lint:ignore)",
+					f.Name(), method, map[string]string{"Merge": "merged — the shard Σ-invariant breaks silently otherwise", "String": "formatted"}[method])
+			}
+		}
+	}
+}
+
+// checkCountersConsumed verifies that for every struct field whose type is
+// cache.Counters, each Counters counter is read somewhere in this package.
+// The diagnostic anchors at the Counters-typed field declaration.
+func checkCountersConsumed(pass *analysis.Pass) {
+	// Find Counters-typed fields declared in this package's structs.
+	type sink struct {
+		declPos ast.Node
+		ctrs    *types.Struct
+	}
+	var sinks []sink
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				t := pass.Info.Types[field.Type].Type
+				named, ok := t.(*types.Named)
+				if !ok {
+					continue
+				}
+				obj := named.Obj()
+				if obj.Name() != "Counters" || obj.Pkg() == nil ||
+					!analysis.PathHasSuffix(obj.Pkg().Path(), "internal/cache") {
+					continue
+				}
+				if cs, ok := named.Underlying().(*types.Struct); ok {
+					sinks = append(sinks, sink{declPos: field.Type, ctrs: cs})
+				}
+			}
+			return true
+		})
+	}
+	if len(sinks) == 0 {
+		return
+	}
+	// Collect every field selection in the package once.
+	refs := make(map[*types.Var]bool)
+	for _, f := range pass.Files {
+		fieldRefs(pass, f, refs)
+	}
+	for _, s := range sinks {
+		for i := 0; i < s.ctrs.NumFields(); i++ {
+			f := s.ctrs.Field(i)
+			if !refs[f] {
+				pass.Reportf(s.declPos.Pos(),
+					"cache.Counters.%s is never consumed in this package; per-query attribution for it is silently dropped",
+					f.Name())
+			}
+		}
+	}
+}
+
+// checkMirror verifies the statsJSON mirror covers both directions: every
+// statsJSON field assigned, every core.Stats field read, within the set of
+// functions returning statsJSON.
+func checkMirror(pass *analysis.Pass) {
+	obj := pass.Pkg.Scope().Lookup("statsJSON")
+	if obj == nil {
+		return
+	}
+	jsonStruct, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	// The AST positions of statsJSON's fields, for anchoring.
+	stats := statsStruct(pass.Pkg)
+
+	// Mirror functions: declared functions whose results include statsJSON.
+	var mirrors []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Type.Results == nil {
+				continue
+			}
+			for _, r := range fd.Type.Results.List {
+				t := pass.Info.Types[r.Type].Type
+				if p, ok := t.(*types.Pointer); ok {
+					t = p.Elem()
+				}
+				if named, ok := t.(*types.Named); ok && named.Obj() == obj {
+					mirrors = append(mirrors, fd)
+					break
+				}
+			}
+		}
+	}
+	if len(mirrors) == 0 {
+		if jsonStruct.NumFields() > 0 {
+			pass.Reportf(obj.Pos(), "statsJSON has no mirror function (a declared function returning statsJSON)")
+		}
+		return
+	}
+	refs := make(map[*types.Var]bool)
+	for _, fd := range mirrors {
+		fieldRefs(pass, fd.Body, refs)
+	}
+	for i := 0; i < jsonStruct.NumFields(); i++ {
+		f := jsonStruct.Field(i)
+		if !refs[f] {
+			pass.Reportf(f.Pos(),
+				"statsJSON.%s is never assigned by the mirror functions; the JSON round-trip drops it", f.Name())
+		}
+	}
+	for _, f := range stats {
+		if !refs[f] {
+			// Stats fields live in another package; anchor at the statsJSON
+			// type so the diagnostic (and any suppression) sits in this one.
+			pass.Reportf(obj.Pos(),
+				"core.Stats.%s is not serialized by the statsJSON mirror functions", f.Name())
+		}
+	}
+}

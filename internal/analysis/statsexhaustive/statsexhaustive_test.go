@@ -1,0 +1,15 @@
+package statsexhaustive_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/statsexhaustive"
+)
+
+func TestStatsExhaustive(t *testing.T) {
+	analysistest.Run(t, "testdata", statsexhaustive.Analyzer,
+		"e/internal/core",
+		"e/internal/server",
+	)
+}

@@ -1,0 +1,10 @@
+package cache
+
+import "sync/atomic"
+
+// Counters is the per-query attribution sink, as in the real cache.
+type Counters struct {
+	Hits       atomic.Int64
+	Misses     atomic.Int64
+	WarmStarts atomic.Int64
+}

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"fmt"
+
+	"e/internal/cache"
+)
+
+// Stats mimics the real structure: three counters, each method forgetting
+// a different one.
+type Stats struct {
+	Candidates int64
+	Results    int64 // want "Stats.Results is not handled in \\(\\*Stats\\).String"
+	NewCounter int64 // want "Stats.NewCounter is not handled in \\(\\*Stats\\).Merge"
+}
+
+// Merge forgets NewCounter — the Σ-invariant silently breaks.
+func (s *Stats) Merge(other *Stats) {
+	if other == nil {
+		return
+	}
+	s.Candidates += other.Candidates
+	s.Results += other.Results
+}
+
+// String forgets Results.
+func (s *Stats) String() string {
+	return fmt.Sprintf("candidates=%d new=%d", s.Candidates, s.NewCounter)
+}
+
+// collector carries the per-query attribution sink; Misses is never read
+// back, so its attribution is dropped.
+type collector struct {
+	cacheCtrs cache.Counters // want "cache.Counters.Misses is never consumed"
+}
+
+func (c *collector) snapshot() Stats {
+	return Stats{
+		Candidates: c.cacheCtrs.Hits.Load(),
+		Results:    c.cacheCtrs.WarmStarts.Load(),
+	}
+}

@@ -6,20 +6,33 @@ package suite
 import (
 	"fmt"
 	"regexp"
+	"strings"
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/atomiccounter"
+	"repro/internal/analysis/chandiscipline"
 	"repro/internal/analysis/ctxflow"
 	"repro/internal/analysis/floateq"
+	"repro/internal/analysis/goleak"
 	"repro/internal/analysis/hotalloc"
+	"repro/internal/analysis/lockbalance"
+	"repro/internal/analysis/statsexhaustive"
+	"repro/internal/analysis/wgbalance"
 )
 
-// All lists every analyzer the suite enforces, in report order.
+// All lists every analyzer the suite enforces, in report order: the four
+// type-based checks from the original suite, then the five CFG/dataflow
+// concurrency-invariant checks.
 var All = []*analysis.Analyzer{
 	hotalloc.Analyzer,
 	ctxflow.Analyzer,
 	atomiccounter.Analyzer,
 	floateq.Analyzer,
+	goleak.Analyzer,
+	lockbalance.Analyzer,
+	chandiscipline.Analyzer,
+	wgbalance.Analyzer,
+	statsexhaustive.Analyzer,
 }
 
 // KnownNames is the directive-validation set for //lint:ignore.
@@ -31,26 +44,52 @@ func KnownNames() map[string]bool {
 	return m
 }
 
-// Select returns the analyzers whose names match the regexp (all when the
-// pattern is empty).
+// Select returns the analyzers matching the pattern (all when it is
+// empty). The pattern is a comma-separated list of anchored regexps —
+// `goleak`, `goleak,wgbalance`, `.*balance` — and every element must match
+// at least one registered analyzer: a typo like `-run goleak,lockblance`
+// is an error naming the element, never a silent no-op.
 func Select(pattern string) ([]*analysis.Analyzer, error) {
 	if pattern == "" {
 		return All, nil
 	}
-	re, err := regexp.Compile(pattern)
-	if err != nil {
-		return nil, fmt.Errorf("bad -run pattern: %v", err)
+	selected := make(map[string]bool)
+	for _, elem := range strings.Split(pattern, ",") {
+		elem = strings.TrimSpace(elem)
+		if elem == "" {
+			return nil, fmt.Errorf("-run %q contains an empty element", pattern)
+		}
+		re, err := regexp.Compile("^(?:" + elem + ")$")
+		if err != nil {
+			return nil, fmt.Errorf("bad -run pattern %q: %v", elem, err)
+		}
+		matched := false
+		for _, a := range All {
+			if re.MatchString(a.Name) {
+				selected[a.Name] = true
+				matched = true
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("-run %q matches no analyzer (known: %s)", elem, strings.Join(Names(), ", "))
+		}
 	}
 	var out []*analysis.Analyzer
 	for _, a := range All {
-		if re.MatchString(a.Name) {
+		if selected[a.Name] {
 			out = append(out, a)
 		}
 	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("-run %q matches no analyzer", pattern)
-	}
 	return out, nil
+}
+
+// Names returns the registered analyzer names in report order.
+func Names() []string {
+	names := make([]string, len(All))
+	for i, a := range All {
+		names[i] = a.Name
+	}
+	return names
 }
 
 // Result is the outcome of one suite run.

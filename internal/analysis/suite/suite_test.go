@@ -71,13 +71,42 @@ func TestSelect(t *testing.T) {
 	if _, err := suite.Select("("); err == nil {
 		t.Fatal("Select with a broken regexp should fail")
 	}
+	two, err := suite.Select("goleak,wgbalance")
+	if err != nil || len(two) != 2 {
+		t.Fatalf("Select(goleak,wgbalance) = %v, err %v; want 2 analyzers", two, err)
+	}
+	// Regression (issue 8): a typo in a comma-separated -run list must be an
+	// error naming the bad element, not a silent partial run.
+	if _, err := suite.Select("goleak,lockblance"); err == nil {
+		t.Fatal("Select(goleak,lockblance) should fail on the misspelled element")
+	} else if !strings.Contains(err.Error(), "lockblance") {
+		t.Fatalf("error should name the bad element, got: %v", err)
+	}
+	// Elements are anchored: a bare substring does not match.
+	if _, err := suite.Select("balance"); err == nil {
+		t.Fatal("Select(balance) should fail: names must match fully (use .*balance)")
+	}
+	sub, err := suite.Select(".*balance")
+	if err != nil || len(sub) != 2 {
+		t.Fatalf("Select(.*balance) = %v, err %v; want lockbalance+wgbalance", sub, err)
+	}
+	if _, err := suite.Select("goleak,,wgbalance"); err == nil {
+		t.Fatal("Select with an empty element should fail")
+	}
 }
 
 func TestKnownNames(t *testing.T) {
 	names := suite.KnownNames()
-	for _, want := range []string{"hotalloc", "ctxflow", "atomiccounter", "floateq"} {
+	for _, want := range []string{
+		"hotalloc", "ctxflow", "atomiccounter", "floateq",
+		"goleak", "lockbalance", "chandiscipline", "wgbalance", "statsexhaustive",
+	} {
 		if !names[want] {
 			t.Errorf("analyzer %q not registered", want)
 		}
+	}
+	if len(names) != len(suite.All) || len(suite.Names()) != len(suite.All) {
+		t.Errorf("registry size mismatch: %d known, %d names, %d registered",
+			len(names), len(suite.Names()), len(suite.All))
 	}
 }

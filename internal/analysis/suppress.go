@@ -40,7 +40,7 @@ func CollectSuppressions(fset *token.FileSet, files []*ast.File, knownNames map[
 				}
 				pos := fset.Position(c.Pos())
 				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
-				names, reason, ok := strings.Cut(rest, " ")
+				names, reason, ok := cutSpace(rest)
 				if !ok || strings.TrimSpace(reason) == "" || names == "" {
 					s.Malformed = append(s.Malformed, Diagnostic{
 						Analyzer: "lint",
@@ -51,6 +51,14 @@ func CollectSuppressions(fset *token.FileSet, files []*ast.File, knownNames map[
 				}
 				for _, name := range strings.Split(names, ",") {
 					name = strings.TrimSpace(name)
+					if name == "" {
+						s.Malformed = append(s.Malformed, Diagnostic{
+							Analyzer: "lint",
+							Pos:      pos,
+							Message:  "//lint:ignore has an empty analyzer name in its list",
+						})
+						continue
+					}
 					if knownNames != nil && !knownNames[name] {
 						s.Malformed = append(s.Malformed, Diagnostic{
 							Analyzer: "lint",
@@ -73,6 +81,16 @@ func CollectSuppressions(fset *token.FileSet, files []*ast.File, knownNames map[
 		}
 	}
 	return s
+}
+
+// cutSpace splits s at its first whitespace run, so tab-indented reasons
+// parse the same as space-separated ones.
+func cutSpace(s string) (before, after string, found bool) {
+	i := strings.IndexAny(s, " \t")
+	if i < 0 {
+		return s, "", false
+	}
+	return s[:i], strings.TrimLeft(s[i:], " \t"), true
 }
 
 // Suppressed reports whether d is covered by a directive.

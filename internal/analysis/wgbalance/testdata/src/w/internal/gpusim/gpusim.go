@@ -1,0 +1,89 @@
+package gpusim
+
+import "sync"
+
+type device struct {
+	mu      sync.Mutex
+	wg      sync.WaitGroup
+	workers int
+}
+
+// addInsideGoroutine is the classic race: Wait may pass before Add runs.
+func (d *device) addInsideGoroutine() {
+	go func() {
+		d.wg.Add(1) // want "Add inside the spawned goroutine"
+		defer d.wg.Done()
+	}()
+	d.wg.Wait()
+}
+
+// okAddBeforeGo is the correct shape.
+func (d *device) okAddBeforeGo() {
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+	}()
+	d.wg.Wait()
+}
+
+// okInnerGroup: a WaitGroup created inside the goroutine is a new group;
+// Add on it is fine.
+func (d *device) okInnerGroup() {
+	go func() {
+		var inner sync.WaitGroup
+		inner.Add(1)
+		go func() {
+			inner.Done()
+		}()
+		inner.Wait()
+	}()
+}
+
+// doneNotOnAllPaths under-counts when work fails.
+func (d *device) doneNotOnAllPaths(work func() error) {
+	d.wg.Add(1)
+	go func() {
+		if err := work(); err != nil {
+			return
+		}
+		d.wg.Done() // want "not called on every path"
+	}()
+}
+
+// okDeferDone covers every path including panics.
+func (d *device) okDeferDone(work func() error) {
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		if err := work(); err != nil {
+			return
+		}
+	}()
+}
+
+// okDoneBothBranches calls Done explicitly on each path.
+func (d *device) okDoneBothBranches(work func() error) {
+	d.wg.Add(1)
+	go func() {
+		if err := work(); err != nil {
+			d.wg.Done()
+			return
+		}
+		d.wg.Done()
+	}()
+}
+
+// waitWhileLocked deadlocks if a worker needs d.mu.
+func (d *device) waitWhileLocked() {
+	d.mu.Lock()
+	d.wg.Wait() // want "while holding d.mu"
+	d.mu.Unlock()
+}
+
+// okWaitAfterUnlock releases first.
+func (d *device) okWaitAfterUnlock() {
+	d.mu.Lock()
+	d.workers++
+	d.mu.Unlock()
+	d.wg.Wait()
+}

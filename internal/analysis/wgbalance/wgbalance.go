@@ -1,0 +1,261 @@
+// Package wgbalance checks sync.WaitGroup usage along every control-flow
+// path:
+//
+//  1. Add inside the spawned goroutine: `go func() { wg.Add(1); ... }()`
+//     races with Wait — the counter may still be zero when Wait runs. Add
+//     must happen before the `go` statement. A WaitGroup declared inside
+//     the goroutine body itself is exempt (it is a new, inner group).
+//
+//  2. Done not on every path: a goroutine body that calls wg.Done()
+//     conditionally (and not via defer) under-counts on the paths that
+//     skip it, and Wait hangs. Must-analysis over the CFG: Done has to
+//     appear on all paths to exit, or be deferred.
+//
+//  3. Wait while holding a lock: wg.Wait() with a sync.Mutex/RWMutex held
+//     (per the lockflow may-analysis) deadlocks if any waited-on goroutine
+//     needs the same lock to finish.
+package wgbalance
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/cfg"
+	"repro/internal/analysis/lockflow"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "wgbalance",
+	Doc: "WaitGroup Add/Done/Wait discipline on every CFG path\n\n" +
+		"Add before the goroutine (never inside it), Done on every path (defer\n" +
+		"preferred), and no Wait while holding a lock the workers might need.",
+	Run: run,
+}
+
+var scopePackages = []string{
+	"internal/core", "internal/shard", "internal/gpusim", "internal/server", "internal/cache",
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PathHasAnySuffix(pass.PkgPath, scopePackages...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		checkAddInGoroutine(pass, f)
+		lockflow.Bodies(f, func(decl *ast.FuncDecl, lit *ast.FuncLit, body *ast.BlockStmt) {
+			checkDoneOnAllPaths(pass, body)
+			checkWaitWhileLocked(pass, body)
+		})
+	}
+	return nil
+}
+
+// wgMethod classifies call as a sync.WaitGroup method call, returning the
+// receiver key and method name.
+func wgMethod(info *types.Info, call *ast.CallExpr) (key, method string, ok bool) {
+	callee := analysis.CalleeFunc(info, call)
+	if callee == nil {
+		return "", "", false
+	}
+	for _, m := range []string{"Add", "Done", "Wait"} {
+		if analysis.IsMethodOn(callee, "sync", "WaitGroup", m) {
+			sel, selOK := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !selOK {
+				return "", "", false
+			}
+			return types.ExprString(sel.X), m, true
+		}
+	}
+	return "", "", false
+}
+
+// checkAddInGoroutine flags wg.Add calls lexically inside a `go func()`
+// literal, unless the WaitGroup is declared inside that literal.
+func checkAddInGoroutine(pass *analysis.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if _, method, ok := wgMethod(pass.Info, call); !ok || method != "Add" {
+				return true
+			}
+			if declaredWithin(pass.Info, call, lit) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"WaitGroup.Add inside the spawned goroutine races with Wait; call Add before the go statement")
+			return true
+		})
+		return true
+	})
+}
+
+// declaredWithin reports whether the base object of the call's receiver
+// chain is declared inside lit (an inner WaitGroup owned by the goroutine).
+func declaredWithin(info *types.Info, call *ast.CallExpr, lit *ast.FuncLit) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	base := ast.Unparen(sel.X)
+	for {
+		if s, ok := base.(*ast.SelectorExpr); ok {
+			base = ast.Unparen(s.X)
+			continue
+		}
+		break
+	}
+	id, ok := base.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := info.ObjectOf(id)
+	return obj != nil && obj.Pos() >= lit.Pos() && obj.Pos() < lit.End()
+}
+
+// checkDoneOnAllPaths runs a must-analysis: every path from entry to exit
+// must execute wg.Done() (or a defer covers it) for each WaitGroup that
+// has any non-deferred Done call in the body.
+func checkDoneOnAllPaths(pass *analysis.Pass, body *ast.BlockStmt) {
+	g := cfg.New(body)
+
+	deferredDone := make(map[string]bool)
+	for _, d := range g.Defers {
+		if key, method, ok := wgMethod(pass.Info, d.Call); ok && method == "Done" {
+			deferredDone[key] = true
+		}
+	}
+
+	// Collect the WaitGroup keys with plain Done calls and their first
+	// call position for reporting.
+	firstDone := make(map[string]token.Pos)
+	collect := func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit, *ast.DeferStmt:
+				return false
+			case *ast.CallExpr:
+				if key, method, ok := wgMethod(pass.Info, m); ok && method == "Done" {
+					if cur, seen := firstDone[key]; !seen || m.Pos() < cur {
+						firstDone[key] = m.Pos()
+					}
+				}
+			}
+			return true
+		})
+	}
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			collect(n)
+		}
+	}
+	if len(firstDone) == 0 {
+		return
+	}
+
+	// Must-Done facts: nil means "unvisited top" so joins at merge points
+	// don't wipe facts before both predecessors are seen; cfg.Forward only
+	// joins computed OUT facts, so a plain set works.
+	type fact = map[string]bool
+	transfer := func(b *cfg.Block, in fact) fact {
+		out := make(fact, len(in))
+		for k := range in {
+			out[k] = true
+		}
+		for _, n := range b.Nodes {
+			ast.Inspect(n, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case *ast.FuncLit, *ast.DeferStmt:
+					return false
+				case *ast.CallExpr:
+					if key, method, ok := wgMethod(pass.Info, m); ok && method == "Done" {
+						out[key] = true
+					}
+				}
+				return true
+			})
+		}
+		return out
+	}
+	join := func(x, y fact) fact {
+		out := make(fact)
+		for k := range x {
+			if y[k] {
+				out[k] = true
+			}
+		}
+		return out
+	}
+	equal := func(x, y fact) bool {
+		if len(x) != len(y) {
+			return false
+		}
+		for k := range x {
+			if !y[k] {
+				return false
+			}
+		}
+		return true
+	}
+	in := cfg.Forward(g, fact{}, transfer, join, equal)
+	atExit, ok := in[g.Exit]
+	if !ok {
+		return // exit unreachable; goleak's department
+	}
+
+	keys := make([]string, 0, len(firstDone))
+	for k := range firstDone {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if deferredDone[k] || atExit[k] {
+			continue
+		}
+		pass.Reportf(firstDone[k],
+			"%s.Done() is not called on every path to return; use defer %s.Done() at the top", k, k)
+	}
+}
+
+// checkWaitWhileLocked reports wg.Wait() calls at which the lockflow
+// may-held set is non-empty.
+func checkWaitWhileLocked(pass *analysis.Pass, body *ast.BlockStmt) {
+	a := lockflow.Analyze(body, pass.Info)
+	a.WalkNodes(func(n ast.Node, held lockflow.Fact) {
+		if len(held) == 0 {
+			return
+		}
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit, *ast.DeferStmt:
+				return false
+			case *ast.CallExpr:
+				if key, method, ok := wgMethod(pass.Info, m); ok && method == "Wait" {
+					locks := make([]string, 0, len(held))
+					for l := range held {
+						locks = append(locks, strings.TrimSuffix(l, lockflow.ReadSuffix))
+					}
+					sort.Strings(locks)
+					pass.Reportf(m.Pos(),
+						"%s.Wait() while holding %s; a worker needing the lock deadlocks — release before waiting",
+						key, strings.Join(locks, ", "))
+				}
+			}
+			return true
+		})
+	})
+}

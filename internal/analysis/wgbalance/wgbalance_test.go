@@ -1,0 +1,14 @@
+package wgbalance_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/wgbalance"
+)
+
+func TestWgBalance(t *testing.T) {
+	analysistest.Run(t, "testdata", wgbalance.Analyzer,
+		"w/internal/gpusim",
+	)
+}

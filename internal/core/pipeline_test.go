@@ -12,6 +12,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/faultinject"
 	"repro/internal/geom"
+	"repro/internal/leakcheck"
 )
 
 // samePairs asserts two join answers are identical (both are sorted by the
@@ -209,6 +210,7 @@ func TestPipelineBatchCounters(t *testing.T) {
 // run must terminate promptly with either a clean answer or a context error
 // — never a deadlock, never a corrupted result.
 func TestPipelineHammerCancellation(t *testing.T) {
+	leakcheck.Check(t) // before testEngine: the diff must run after Close drains the stages
 	t.Cleanup(faultinject.Reset)
 	e := testEngine(t)
 	a, b := buildPair(t, e)

@@ -193,6 +193,12 @@ func (s *Stats) String() string {
 		fmt.Fprintf(&b, " degraded=%d uncertain=%d quarantineSkips=%d decodeRetries=%d decodeFailures=%d",
 			len(s.Degraded), len(s.Uncertain)+len(s.UncertainIDs), s.QuarantineSkips, s.DecodeRetries, s.DecodeFailures)
 	}
+	if len(s.Shards) > 0 {
+		fmt.Fprintf(&b, " shards=%d", len(s.Shards))
+	}
+	if len(s.Trace) > 0 {
+		fmt.Fprintf(&b, " traceEvents=%d", len(s.Trace))
+	}
 	for l := range s.PairsEvaluated {
 		if s.PairsEvaluated[l] > 0 {
 			fmt.Fprintf(&b, " lod%d=%d/%d", l, s.PairsPruned[l], s.PairsEvaluated[l])
@@ -222,6 +228,8 @@ type collector struct {
 	// with its own shard counters. Reading it at snapshot time therefore
 	// yields the query's exact warm-start/rounds/failure numbers, immune to
 	// other queries hammering the shared cache concurrently.
+	//
+	//lint:ignore statsexhaustive Hits/Misses are intentionally unread: the engine counts its own decodes/cacheHits in decodeOnce for per-LOD trace attribution, which the cache-side counters cannot provide
 	cacheCtrs cache.Counters
 
 	// tr aggregates span-style trace events when QueryOptions.Trace is set;

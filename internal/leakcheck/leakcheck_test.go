@@ -1,0 +1,103 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// blockForever is the leak shape the detector must catch: parked on a
+// channel nothing sends to.
+func blockForever(ch chan struct{}, started chan<- struct{}) {
+	started <- struct{}{}
+	<-ch
+}
+
+func TestDetectsLeakedGoroutine(t *testing.T) {
+	before := liveIDs(capture())
+
+	ch := make(chan struct{})
+	started := make(chan struct{})
+	go blockForever(ch, started)
+	<-started
+	defer close(ch) // release it so THIS test doesn't leak
+
+	leaked := settle(before, 50*time.Millisecond)
+	if len(leaked) == 0 {
+		t.Fatal("a goroutine parked on a never-closed channel was not detected")
+	}
+	found := false
+	for _, g := range leaked {
+		if strings.Contains(g.stack, "blockForever") {
+			found = true
+			if g.state != "chan receive" && g.state != "chan send" {
+				t.Errorf("leaked goroutine state = %q, want a chan park", g.state)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("leak report misses blockForever: %v", leaked)
+	}
+}
+
+func TestSettleWaitsForStragglers(t *testing.T) {
+	before := liveIDs(capture())
+
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(30 * time.Millisecond) // straggler: exits within the grace window
+		close(done)
+	}()
+
+	if leaked := settle(before, 2*time.Second); len(leaked) != 0 {
+		t.Fatalf("straggler that exits within the window reported as leak: %v", leaked)
+	}
+	<-done
+}
+
+func TestParseDump(t *testing.T) {
+	dump := "goroutine 1 [running]:\nmain.main()\n\t/src/main.go:10 +0x20\n\n" +
+		"goroutine 42 [chan receive, 3 minutes]:\npkg.worker(0x0)\n\t/src/pkg/w.go:5 +0x11\n\n" +
+		"garbage without a header\n\n" +
+		"goroutine bad [running]:\nframes\n"
+	gs := parseDump(dump)
+	if len(gs) != 2 {
+		t.Fatalf("parsed %d records, want 2: %+v", len(gs), gs)
+	}
+	if gs[0].id != 1 || gs[0].state != "running" {
+		t.Errorf("record 0 = %+v", gs[0])
+	}
+	if gs[1].id != 42 || gs[1].state != "chan receive, 3 minutes" || !strings.Contains(gs[1].stack, "pkg.worker") {
+		t.Errorf("record 1 = %+v", gs[1])
+	}
+}
+
+// recorder captures Errorf calls so Check's cleanup can be asserted on
+// without failing the real test.
+type recorder struct {
+	cleanups []func()
+	errors   []string
+}
+
+func (r *recorder) Helper() {}
+
+func (r *recorder) Cleanup(f func()) { r.cleanups = append(r.cleanups, f) }
+
+func (r *recorder) Errorf(format string, args ...any) {
+	r.errors = append(r.errors, format)
+}
+
+func (r *recorder) runCleanups() {
+	for i := len(r.cleanups) - 1; i >= 0; i-- {
+		r.cleanups[i]()
+	}
+}
+
+func TestCheckCleanTest(t *testing.T) {
+	r := &recorder{}
+	Check(r)
+	r.runCleanups()
+	if len(r.errors) != 0 {
+		t.Fatalf("clean test reported leaks: %v", r.errors)
+	}
+}

@@ -1,0 +1,72 @@
+package shard
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// hedgeLoserTransport stalls the primary attempt until its context is
+// canceled and answers the hedge immediately, capturing the primary's
+// context so the test can verify the loser actually gets torn down.
+type hedgeLoserTransport struct {
+	mu      sync.Mutex
+	calls   int
+	primary context.Context
+}
+
+func (t *hedgeLoserTransport) Send(ctx context.Context, shard int, req *Request) (*Response, error) {
+	t.mu.Lock()
+	n := t.calls
+	t.calls++
+	if n == 0 {
+		t.primary = ctx
+	}
+	t.mu.Unlock()
+	if n == 0 {
+		<-ctx.Done() // straggler: only cancellation unblocks it
+		return nil, ctx.Err()
+	}
+	return &Response{}, nil
+}
+
+func (t *hedgeLoserTransport) primaryCtx() context.Context {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.primary
+}
+
+// TestHedgeLoserIsCanceled pins the fix for the hedged-request loser path:
+// with no AttemptTimeout configured, attempt used to hand the transport
+// the query context unwrapped with a no-op cancel, so the losing attempt
+// kept running (holding its transport slot) until the whole query ended.
+// Every attempt must get its own cancelable child context.
+func TestHedgeLoserIsCanceled(t *testing.T) {
+	tr := &hedgeLoserTransport{}
+	c := &Coordinator{
+		// No AttemptTimeout: the regression only shows on this path.
+		opts: Options{HedgeAfter: time.Millisecond},
+		tr:   tr,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	resp, hedged, hedgeWon, attempts, err := c.attempt(ctx, 0, &Request{})
+	if err != nil || resp == nil {
+		t.Fatalf("attempt failed: resp=%v err=%v", resp, err)
+	}
+	if !hedged || !hedgeWon || attempts != 2 {
+		t.Fatalf("hedge should have won: hedged=%v hedgeWon=%v attempts=%d", hedged, hedgeWon, attempts)
+	}
+
+	pctx := tr.primaryCtx()
+	if pctx == nil {
+		t.Fatal("primary attempt never launched")
+	}
+	select {
+	case <-pctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("losing primary attempt's context was never canceled; the straggler keeps running until the query ends")
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/faultinject"
+	"repro/internal/leakcheck"
 	"repro/internal/shard"
 )
 
@@ -38,6 +39,7 @@ func killPoint(s int) string {
 // TestDeadShardsDegrade kills K of N shards at the transport and asserts
 // the degraded-answer contract for K = 1 and K = 2.
 func TestDeadShardsDegrade(t *testing.T) {
+	leakcheck.Check(t)
 	e := core.NewEngine(testEngineOptions())
 	defer e.Close()
 	a, b := buildPair(t, e)
@@ -132,6 +134,7 @@ func TestDeadShardsDegrade(t *testing.T) {
 // TestRetryRecoversTransientFault proves a transient transport failure is
 // retried to success without surfacing any uncertainty.
 func TestRetryRecoversTransientFault(t *testing.T) {
+	leakcheck.Check(t)
 	defer faultinject.Reset()
 	e := core.NewEngine(testEngineOptions())
 	defer e.Close()
@@ -178,6 +181,7 @@ func TestRetryRecoversTransientFault(t *testing.T) {
 // primary attempt stalls; the hedge must win and the query must not block
 // on the straggler.
 func TestHedgedRequestBeatsStraggler(t *testing.T) {
+	leakcheck.Check(t)
 	defer faultinject.Reset()
 	e := core.NewEngine(testEngineOptions())
 	defer e.Close()
@@ -218,6 +222,7 @@ func TestHedgedRequestBeatsStraggler(t *testing.T) {
 // full lifecycle: trip on a dead shard, reject while open (no transport
 // attempts), and close again via a half-open probe once the shard heals.
 func TestBreakerOpensAndRecovers(t *testing.T) {
+	leakcheck.Check(t)
 	defer faultinject.Reset()
 	e := core.NewEngine(testEngineOptions())
 	defer e.Close()
@@ -291,6 +296,7 @@ func TestBreakerOpensAndRecovers(t *testing.T) {
 // retried (fresh responses are clean only if the fault disarms) or
 // degraded, never silently accepted.
 func TestRecvCorruptionIsTransportError(t *testing.T) {
+	leakcheck.Check(t)
 	defer faultinject.Reset()
 	e := core.NewEngine(testEngineOptions())
 	defer e.Close()
@@ -327,6 +333,7 @@ func TestRecvCorruptionIsTransportError(t *testing.T) {
 // TestAllShardsDead asserts a query with every shard dead fails even under
 // Degrade — with no survivor there is no sound certain answer.
 func TestAllShardsDead(t *testing.T) {
+	leakcheck.Check(t)
 	defer faultinject.Reset()
 	e := core.NewEngine(testEngineOptions())
 	defer e.Close()

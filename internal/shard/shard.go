@@ -590,9 +590,17 @@ func (c *Coordinator) attempt(ctx context.Context, s int, req *Request) (resp *R
 	}
 	ch := make(chan result, 2)
 	launch := func(hedge bool) context.CancelFunc {
-		actx, cancel := ctx, context.CancelFunc(func() {})
+		// Always derive a cancelable context, even without an attempt
+		// timeout: the deferred cancels below are how the losing attempt of
+		// a hedged pair gets torn down. With the parent ctx passed through
+		// unwrapped, the loser's transport call would keep running until
+		// the whole query finished.
+		var actx context.Context
+		var cancel context.CancelFunc
 		if c.opts.AttemptTimeout > 0 {
 			actx, cancel = context.WithTimeout(ctx, c.opts.AttemptTimeout)
+		} else {
+			actx, cancel = context.WithCancel(ctx)
 		}
 		go func() {
 			r, e := c.tr.Send(actx, s, req)
