@@ -19,7 +19,7 @@ BENCHMERGE ?=
 # catches order-of-magnitude regressions, not percent-level drift.
 SMOKE_THRESHOLD ?= 200
 
-.PHONY: build test vet lint lint-fixtures staticcheck govulncheck race fuzz-short fuzz chaos-short ci bench bench-smoke
+.PHONY: build test vet lint lint-fixtures staticcheck govulncheck race fuzz-short fuzz chaos-short chaos-net ci bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -65,7 +65,7 @@ race:
 
 # Run just the seed corpus of every fuzz target (fast, deterministic; what CI runs).
 fuzz-short:
-	$(GO) test -run='^Fuzz' ./internal/ppvp ./internal/storage ./internal/analysis
+	$(GO) test -run='^Fuzz' ./internal/ppvp ./internal/storage ./internal/analysis ./internal/faultinject
 
 # Actual coverage-guided fuzzing, $(FUZZTIME) per target.
 fuzz:
@@ -82,7 +82,15 @@ chaos-short:
 	_3DPRO_CHAOS=$(CHAOSTIME) $(GO) test -race -run 'TestChaosCampaign' -count=1 ./internal/core
 	$(GO) test -race -run 'TestDeadShardsDegrade|TestRetryRecoversTransientFault|TestHedgedRequestBeatsStraggler|TestBreakerOpensAndRecovers|TestRecvCorruptionIsTransportError|TestAllShardsDead' -count=1 ./internal/shard
 
-ci: vet lint staticcheck govulncheck race fuzz-short chaos-short bench-smoke
+# The multi-process robustness ladder over real HTTP loopback workers, under
+# the race detector: seeded retry/hedge/failover/breaker/rejoin campaign,
+# replicated-placement failover, both-replicas-dead degradation, wire
+# corruption, and graceful worker drain (see internal/shard/http_test.go
+# and failover_test.go).
+chaos-net:
+	$(GO) test -race -run 'TestHTTPChaosCampaign|TestShardedEquivalenceHTTP|TestHTTPAnySingleWorkerDeathIsExact|TestHTTPBothReplicasDeadDegrades|TestHTTPRecvCorruptionIsTransportError|TestWorkerDrainPreservesInFlight|TestWorkerEchoesRequestID|TestReplicaFailoverExact|TestBothReplicasDeadDegrades|TestProberRejoinsShard' -count=1 ./internal/shard
+
+ci: vet lint staticcheck govulncheck race fuzz-short chaos-short chaos-net bench-smoke
 
 # One short iteration of the same benchmarks, diffed against the committed
 # baseline via `benchjson -compare` with a generous threshold. This is a

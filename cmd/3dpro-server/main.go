@@ -30,7 +30,22 @@
 // -shard-breaker-cooldown). A dead shard degrades Degrade-policy queries
 // (its objects are reported uncertain) instead of failing them.
 //
-// See internal/server for the API.
+// Multi-process serving splits the tier across processes. Each shard runs
+// as a worker:
+//
+//	3dpro-server -shard-worker -listen 127.0.0.1:7801
+//
+// and the frontend coordinates them over HTTP with replicated placement
+// (-replicas copies of every home group, so killing any single worker
+// still yields exact answers via failover) and an active health prober
+// (-shard-probe-interval) that rejoins restarted workers without risking
+// query traffic:
+//
+//	3dpro-server -shards 2 -replicas 2 \
+//	    -shard-workers http://127.0.0.1:7801,http://127.0.0.1:7802 -demo
+//
+// See internal/server for the API and DESIGN.md §13 for the placement and
+// failover semantics.
 package main
 
 import (
@@ -70,6 +85,11 @@ func main() {
 	quarThreshold := flag.Int("quarantine-threshold", 0, "decode failures before an object is quarantined (default 3)")
 	quarCooldown := flag.Duration("quarantine-cooldown", 0, "how long a quarantined object stays blocked before a probe is admitted (default 30s)")
 	shards := flag.Int("shards", 1, "serve through N in-process shards with a degrade-aware coordinator (1 = single engine)")
+	replicas := flag.Int("replicas", 2, "shards storing each home group in multi-process mode (failover tolerates replicas-1 dead workers per group; in-process mode defaults to 1)")
+	shardWorkers := flag.String("shard-workers", "", "comma-separated worker base URLs; serve through these worker processes over HTTP instead of in-process shards")
+	shardProbeInterval := flag.Duration("shard-probe-interval", 2*time.Second, "background health-probe interval for tripped shard breakers (0 disables the prober)")
+	shardWorker := flag.Bool("shard-worker", false, "run as a shard worker process serving the shard protocol on -listen")
+	listen := flag.String("listen", "127.0.0.1:7800", "worker listen address (with -shard-worker)")
 	shardRetries := flag.Int("shard-retries", 0, "transport retries per shard call (default 2, negative disables)")
 	shardBackoff := flag.Duration("shard-retry-backoff", 0, "initial retry backoff, doubling with jitter (default 5ms)")
 	shardHedgeAfter := flag.Duration("shard-hedge-after", 0, "hedge a shard call with a second attempt after this delay (0 = off)")
@@ -113,26 +133,75 @@ func main() {
 		QuarantineThreshold: *quarThreshold,
 		QuarantineCooldown:  *quarCooldown,
 	}
+
+	if *shardWorker {
+		node := shard.NewNode(0, engOpts)
+		defer node.Close()
+		w := server.NewWorker(node, cfg)
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		log.Printf("3dpro-server shard worker listening on http://%s", *listen)
+		if err := w.Run(ctx, *listen); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("3dpro-server: worker clean shutdown")
+		return
+	}
+
 	// The loader engine builds/loads datasets; in sharded mode the queries
 	// run on the coordinator's per-shard engines instead.
 	eng := core.NewEngine(engOpts)
 	defer eng.Close()
 
+	// The -replicas default (2) targets multi-process serving, where a dead
+	// worker is an expected event; plain -shards N keeps the single-copy
+	// placement of the in-process tier unless -replicas is set explicitly.
+	replicasSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "replicas" {
+			replicasSet = true
+		}
+	})
+
+	shardOpts := shard.Options{
+		Retries:          *shardRetries,
+		RetryBackoff:     *shardBackoff,
+		HedgeAfter:       *shardHedgeAfter,
+		AttemptTimeout:   *shardAttemptTimeout,
+		BreakerThreshold: *shardBreakerThreshold,
+		BreakerCooldown:  *shardBreakerCooldown,
+	}
+
 	var srv *server.Server
-	if *shards > 1 {
-		coord := shard.NewInProcess(engOpts, shard.Options{
-			Shards:           *shards,
-			Retries:          *shardRetries,
-			RetryBackoff:     *shardBackoff,
-			HedgeAfter:       *shardHedgeAfter,
-			AttemptTimeout:   *shardAttemptTimeout,
-			BreakerThreshold: *shardBreakerThreshold,
-			BreakerCooldown:  *shardBreakerCooldown,
-		})
+	switch {
+	case *shardWorkers != "":
+		addrs := strings.Split(*shardWorkers, ",")
+		for i := range addrs {
+			addrs[i] = strings.TrimSpace(addrs[i])
+		}
+		if *shards > 1 && *shards != len(addrs) {
+			log.Fatalf("-shards %d disagrees with the %d -shard-workers URLs; drop -shards or make them match", *shards, len(addrs))
+		}
+		tr := shard.NewHTTPTransport(addrs)
+		defer tr.Close()
+		shardOpts.Shards = len(addrs)
+		shardOpts.Replicas = *replicas
+		coord := shard.NewWithTransport(tr, shardOpts)
 		defer coord.Close()
+		coord.StartProber(*shardProbeInterval)
 		srv = server.NewSharded(coord, cfg)
-		log.Printf("sharded serving enabled: %d shards", *shards)
-	} else {
+		log.Printf("sharded serving enabled: %d workers over HTTP, %d replicas per group", len(addrs), coord.Replicas())
+	case *shards > 1:
+		shardOpts.Shards = *shards
+		if replicasSet {
+			shardOpts.Replicas = *replicas
+		}
+		coord := shard.NewInProcess(engOpts, shardOpts)
+		defer coord.Close()
+		coord.StartProber(*shardProbeInterval)
+		srv = server.NewSharded(coord, cfg)
+		log.Printf("sharded serving enabled: %d shards, %d replicas per group", *shards, coord.Replicas())
+	default:
 		srv = server.NewWithConfig(eng, cfg)
 	}
 

@@ -113,3 +113,48 @@ func (o *owner) nestedBreakDoesNotCount(stop chan struct{}) {
 		_ = ev
 	}
 }
+
+// --- prober and connection-pool reaper shapes ---
+
+// probeLoop must not close the done channel it was handed: the spawner
+// owns the lifecycle signal.
+func probeLoop(tick chan result, done chan struct{}) {
+	for range tick {
+	}
+	close(done) // want "close of channel received as a parameter"
+}
+
+// okSpawnProber is the sanctioned shape: the spawning closure closes the
+// channel it made, and the loop body only ever receives.
+func okSpawnProber(tick chan result) chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range tick {
+		}
+	}()
+	return done
+}
+
+// pool is a connection pool with a reaper feed.
+type pool struct {
+	evict chan result
+	stale chan result
+}
+
+// reapLoop ends because Close closes the evict stream.
+func (p *pool) reapLoop() {
+	for ev := range p.evict {
+		_ = ev
+	}
+}
+
+func (p *pool) Close() { close(p.evict) }
+
+// staleLoop ranges a channel nothing in the package ever closes, with no
+// exit statement in the body.
+func (p *pool) staleLoop() {
+	for ev := range p.stale { // want "nothing in this package ever closes"
+		_ = ev
+	}
+}

@@ -1,6 +1,9 @@
 package shard
 
-import "context"
+import (
+	"context"
+	"time"
+)
 
 type result struct{ n int }
 
@@ -100,4 +103,63 @@ func okConditionalReturn(ch chan result, stop chan struct{}) {
 			}
 		}
 	}()
+}
+
+// --- prober ticker loop and connection-pool reaper shapes ---
+
+// okProberTicker mirrors the coordinator's health prober: a ticker loop
+// whose stop arm returns; the ticker itself is released by the defer.
+func okProberTicker(stop chan struct{}) {
+	go func() {
+		tick := time.NewTicker(time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// leakProberTicker: the same loop without a stop arm never terminates.
+func leakProberTicker() {
+	go func() { // want "no termination path"
+		tick := time.NewTicker(time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+			}
+		}
+	}()
+}
+
+// reap is a connection-pool reaper: it sweeps idle connections on every
+// tick until told to stop, so launching it is leak-free.
+func reap(sweep *time.Ticker, stop chan struct{}) {
+	for {
+		select {
+		case <-sweep.C:
+		case <-stop:
+			return
+		}
+	}
+}
+
+func okPoolReaper(stop chan struct{}) {
+	go reap(time.NewTicker(time.Minute), stop)
+}
+
+// reapForever has no exit at all; launching it leaks the goroutine (and
+// pins the pool it sweeps).
+func reapForever(sweep *time.Ticker) {
+	for {
+		<-sweep.C
+	}
+}
+
+func leakPoolReaper() {
+	go reapForever(time.NewTicker(time.Minute)) // want "no termination path"
 }

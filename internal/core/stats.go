@@ -105,6 +105,10 @@ type ShardStat struct {
 	Attempts int  `json:"attempts"`
 	Hedged   bool `json:"hedged,omitempty"`
 	HedgeWon bool `json:"hedge_won,omitempty"`
+	// Replica is the replica-chain index that served the group (0 = the
+	// primary, k > 0 = the k-th failover target); -1 when no replica
+	// answered. Always 0 in an unreplicated deployment.
+	Replica int `json:"replica"`
 	// Err is the final error of a failed shard call ("" on success).
 	Err string `json:"error,omitempty"`
 	// Elapsed is the shard call's wall-clock time as seen by the

@@ -10,12 +10,16 @@
 //
 // Known points:
 //
-//	core.decode   — the engine's per-object decode (Fire: error/panic/sleep)
-//	ppvp.decode   — progressive mesh decoding (Fire: error/panic/sleep)
-//	storage.tile  — tile file parsing (Corrupt: bit-flips the bytes)
-//	shard.send    — coordinator→shard request dispatch (error/panic/sleep)
-//	shard.recv    — shard→coordinator response path (error/panic/sleep and
-//	                corrupt, which mangles the encoded response)
+//	core.decode    — the engine's per-object decode (Fire: error/panic/sleep)
+//	ppvp.decode    — progressive mesh decoding (Fire: error/panic/sleep)
+//	storage.tile   — tile file parsing (Corrupt: bit-flips the bytes)
+//	shard.send     — coordinator→shard request dispatch (error/panic/sleep)
+//	shard.recv     — shard→coordinator response path (error/panic/sleep and
+//	                 corrupt, which mangles the encoded response)
+//	shard.net.send — the HTTP transport's wire-level request path
+//	shard.net.recv — the HTTP transport's wire-level response path (corrupt
+//	                 mangles the body bytes before the CRC check, so the
+//	                 fault surfaces exactly as a real flaky link would)
 //
 // Spec strings (_3DPRO_FAULTS, -faults) are comma-separated point=mode items:
 //
@@ -23,10 +27,12 @@
 //
 // with modes error[:msg], panic[:msg], sleep:duration, and corrupt. A mode
 // may be prefixed with modifiers: prob:P (fire with probability P per
-// opportunity, 0 < P ≤ 1) and times:N (disarm after N firings), in any
-// order:
+// opportunity, 0 < P ≤ 1), times:N (disarm after N firings), and delay:DUR
+// (sleep DUR before the mode applies — latency composed with any failure),
+// in any order:
 //
 //	_3DPRO_FAULTS='ppvp.decode=prob:0.05:error,core.decode=times:3:panic'
+//	_3DPRO_FAULTS='shard.net.send.2=prob:0.3:delay:20ms:error:flaky link'
 //
 // Probabilistic faults draw from a package-level RNG seeded with 1; chaos
 // campaigns call Seed for reproducible runs.
@@ -57,6 +63,15 @@ const (
 	// the wire-level equivalent of a flaky link.
 	PointShardSend = "shard.send"
 	PointShardRecv = "shard.recv"
+	// Wire-level variants of the shard transport points, fired by the HTTP
+	// transport around the actual network exchange: net.send before the
+	// request leaves the coordinator (delay = link latency, error =
+	// blackhole/partition), net.recv on the raw response bytes before the
+	// CRC integrity check (corrupt = damaged frame). Both support the
+	// per-shard ".N" suffix, so a campaign can partition one worker away
+	// while its replicas keep serving.
+	PointShardNetSend = "shard.net.send"
+	PointShardNetRecv = "shard.net.recv"
 )
 
 // EnvVar is the environment variable parsed at process start.
@@ -291,10 +306,11 @@ func Parse(spec string) error {
 			return fmt.Errorf("faultinject: bad spec item %q, want point=mode", item)
 		}
 		var f Fault
-		// Strip leading prob:/times: modifiers; what remains is the verb.
+		// Strip leading prob:/times:/delay: modifiers; what remains is the
+		// verb.
 		for {
 			verb, rest, _ := strings.Cut(mode, ":")
-			if verb != "prob" && verb != "times" {
+			if verb != "prob" && verb != "times" && verb != "delay" {
 				break
 			}
 			val, rest2, ok := strings.Cut(rest, ":")
@@ -316,6 +332,12 @@ func Parse(spec string) error {
 					return fmt.Errorf("faultinject: bad times %q in %q, want ≥ 1", val, item)
 				}
 				f.Times = n
+			case "delay":
+				d, err := time.ParseDuration(val)
+				if err != nil || d < 0 {
+					return fmt.Errorf("faultinject: bad delay %q in %q, want a non-negative duration", val, item)
+				}
+				f.Delay = d
 			}
 			mode = rest2
 		}

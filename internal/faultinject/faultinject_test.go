@@ -223,18 +223,103 @@ func TestParseProbTimesCombined(t *testing.T) {
 func TestParseModifierErrors(t *testing.T) {
 	t.Cleanup(Reset)
 	for _, bad := range []string{
-		"p=prob:error",      // prob value missing / not a number
-		"p=prob:0:error",    // prob out of range
-		"p=prob:1.5:error",  // prob out of range
-		"p=times:0:error",   // times < 1
-		"p=times:x:error",   // times not a number
-		"p=prob:0.5",        // modifier with no mode
-		"p=times:3",         // modifier with no mode
+		"p=prob:error",       // prob value missing / not a number
+		"p=prob:0:error",     // prob out of range
+		"p=prob:1.5:error",   // prob out of range
+		"p=times:0:error",    // times < 1
+		"p=times:x:error",    // times not a number
+		"p=prob:0.5",         // modifier with no mode
+		"p=times:3",          // modifier with no mode
 		"p=prob:0.5:times:2", // two modifiers, still no mode
+		"p=delay:error",      // delay value not a duration
+		"p=delay:-5ms:error", // negative delay
+		"p=delay:10ms",       // delay with no mode (pure latency is sleep:DUR)
+		"p=delay:10ms:prob:0.5", // delay+prob, still no mode
 	} {
 		if err := Parse(bad); err == nil {
 			t.Errorf("Parse(%q) accepted", bad)
 		}
+	}
+}
+
+// TestParseDelayModifier proves delay:DUR composes with a failure mode: the
+// firing sleeps first, then the mode applies.
+func TestParseDelayModifier(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Parse("p=delay:30ms:error:slow link down"); err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Now()
+	err := Fire("p")
+	if err == nil || !strings.Contains(err.Error(), "slow link down") {
+		t.Fatalf("delayed error mode: %v", err)
+	}
+	if d := time.Since(t0); d < 20*time.Millisecond {
+		t.Fatalf("delay:30ms slept only %v before the error", d)
+	}
+}
+
+// TestParseDelayCorrupt composes wire latency with wire damage — the
+// corrupt-slow-link shape the HTTP chaos campaign arms.
+func TestParseDelayCorrupt(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Parse("p=delay:20ms:corrupt"); err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("response frame on a damaged slow link")
+	t0 := time.Now()
+	out, err := FireData("p", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(out, data) {
+		t.Fatal("delay:corrupt did not corrupt")
+	}
+	if d := time.Since(t0); d < 10*time.Millisecond {
+		t.Fatalf("delay:20ms slept only %v", d)
+	}
+}
+
+// TestParseDelayProbTimes stacks all three modifiers: the delay applies
+// only to the firings the probability admits, and the times budget counts
+// firings, not opportunities.
+func TestParseDelayProbTimes(t *testing.T) {
+	t.Cleanup(Reset)
+	Seed(11)
+	if err := Parse("p=prob:0.5:delay:1ms:times:2:error"); err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	for i := 0; i < 200; i++ {
+		if Fire("p") != nil {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("prob+delay+times fired %d times, want exactly 2", fired)
+	}
+	if Enabled() {
+		t.Fatal("point still armed after times budget spent")
+	}
+}
+
+func TestParseNetPoints(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Parse("shard.net.send.1=error:partitioned,shard.net.recv=corrupt"); err != nil {
+		t.Fatal(err)
+	}
+	if !Armed(PointShardNetSend+".1") || !Armed(PointShardNetRecv) {
+		t.Fatal("net points not armed by Parse")
+	}
+	if err := Fire(PointShardNetSend + ".1"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("shard.net.send.1: %v", err)
+	}
+	out, err := FireData(PointShardNetRecv, []byte("wire frame bytes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(out, []byte("wire frame bytes")) {
+		t.Fatal("net.recv corrupt did not fire")
 	}
 }
 

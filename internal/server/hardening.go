@@ -160,6 +160,7 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	if s.coord != nil {
 		out["shards"] = map[string]any{
 			"count":    s.coord.Shards(),
+			"replicas": s.coord.Replicas(),
 			"degraded": s.coord.Degraded(),
 			"health":   s.coord.Health(),
 			"metrics":  s.coord.Metrics(),

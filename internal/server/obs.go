@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/shard"
 )
 
 // queryLogCapacity bounds the /debug/queries ring buffer.
@@ -142,6 +143,24 @@ func (s *Server) initShardObs(reg *obs.Registry) {
 	reg.CounterFunc("threedpro_shard_open_skips_total",
 		"Shard calls refused outright by an open breaker.",
 		func() float64 { return float64(coord.Metrics().OpenSkips) })
+	reg.GaugeFunc("threedpro_shard_replicas",
+		"Configured replication factor (shards per home group).",
+		func() float64 { return float64(coord.Replicas()) })
+	reg.CounterFunc("threedpro_shard_failover_total",
+		"Replica-chain advances past a failed or breaker-open replica.",
+		func() float64 { return float64(coord.Metrics().Failovers) })
+	reg.CounterFunc("threedpro_shard_failover_wins_total",
+		"Failovers whose replica produced the accepted answer.",
+		func() float64 { return float64(coord.Metrics().FailoverWins) })
+	reg.CounterFunc("threedpro_shard_prober_probes_total",
+		"Active health probes issued by the background prober.",
+		func() float64 { return float64(coord.Metrics().Probes) })
+	reg.CounterFunc("threedpro_shard_prober_recoveries_total",
+		"Prober probes whose success released a shard breaker.",
+		func() float64 { return float64(coord.Metrics().ProbeRecoveries) })
+	reg.CounterFunc("threedpro_shard_prober_failures_total",
+		"Prober probes that failed and re-opened the breaker.",
+		func() float64 { return float64(coord.Metrics().ProbeFailures) })
 }
 
 // noteQuery records one executed query (one that reached the engine) into
@@ -233,7 +252,10 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		if id == "" {
 			id = newRequestID()
 		}
-		r = r.WithContext(context.WithValue(r.Context(), ridKey{}, id))
+		// The shard-side copy rides outgoing worker calls (HTTP transport)
+		// so one query's scatter legs correlate across process logs.
+		r = r.WithContext(shard.WithRequestID(
+			context.WithValue(r.Context(), ridKey{}, id), id))
 		w.Header().Set("X-Request-ID", id)
 		rec := &statusRecorder{ResponseWriter: w}
 		start := time.Now()

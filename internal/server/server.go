@@ -465,6 +465,7 @@ type shardStatJSON struct {
 	Attempts  int        `json:"attempts"`
 	Hedged    bool       `json:"hedged,omitempty"`
 	HedgeWon  bool       `json:"hedge_won,omitempty"`
+	Replica   int        `json:"replica"`
 	Err       string     `json:"error,omitempty"`
 	ElapsedMS float64    `json:"elapsed_ms"`
 	Stats     *statsJSON `json:"stats,omitempty"`
@@ -479,6 +480,7 @@ func statsOut(st *core.Stats) statsJSON {
 			Attempts:  ss.Attempts,
 			Hedged:    ss.Hedged,
 			HedgeWon:  ss.HedgeWon,
+			Replica:   ss.Replica,
 			Err:       ss.Err,
 			ElapsedMS: float64(ss.Elapsed) / float64(time.Millisecond),
 		}

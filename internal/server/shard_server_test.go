@@ -217,11 +217,13 @@ func TestShardedServerHealthEndpoints(t *testing.T) {
 	var status struct {
 		Shards struct {
 			Count    int  `json:"count"`
+			Replicas int  `json:"replicas"`
 			Degraded bool `json:"degraded"`
 			Health   []struct {
 				Shard int    `json:"shard"`
 				State string `json:"state"`
 			} `json:"health"`
+			Metrics map[string]any `json:"metrics"`
 		} `json:"shards"`
 	}
 	if resp := getJSON(t, ts.URL+"/statusz", &status); resp.StatusCode != 200 {
@@ -229,6 +231,14 @@ func TestShardedServerHealthEndpoints(t *testing.T) {
 	}
 	if status.Shards.Count != 3 || len(status.Shards.Health) != 3 || status.Shards.Degraded {
 		t.Fatalf("fresh statusz shards = %+v", status.Shards)
+	}
+	if status.Shards.Replicas != 1 {
+		t.Fatalf("statusz replicas = %d, want 1", status.Shards.Replicas)
+	}
+	for _, key := range []string{"failovers", "failover_wins", "probes", "probe_recoveries", "probe_failures"} {
+		if _, ok := status.Shards.Metrics[key]; !ok {
+			t.Errorf("statusz shard metrics missing %q: %v", key, status.Shards.Metrics)
+		}
 	}
 
 	// Kill shard 0 and trip its breaker with one degrade query.
@@ -278,6 +288,12 @@ func TestShardedServerHealthEndpoints(t *testing.T) {
 		"threedpro_shard_hedge_wins_total",
 		"threedpro_shard_errors_total 1",
 		"threedpro_shard_open_skips_total",
+		"threedpro_shard_replicas 1",
+		"threedpro_shard_failover_total",
+		"threedpro_shard_failover_wins_total",
+		"threedpro_shard_prober_probes_total",
+		"threedpro_shard_prober_recoveries_total",
+		"threedpro_shard_prober_failures_total",
 	} {
 		if !strings.Contains(metrics, family) {
 			t.Errorf("/metrics missing %q", family)

@@ -11,21 +11,25 @@ import (
 	"repro/internal/storage"
 )
 
-// Node is one shard: an engine plus the home subset of every dataset. A
-// node only ever sees its home objects and the per-query loans the
-// coordinator ships; it has no knowledge of the other shards.
+// Node is one shard: an engine plus the home-group subsets of every
+// dataset it replicates. A node only ever sees the objects of the groups
+// placed on it and the per-query loans the coordinator ships; it has no
+// knowledge of the other shards. Under replication a node holds several
+// groups of the same dataset (its primary group plus the replica groups
+// that wrap onto it), kept separate so a request serves exactly one
+// group's targets.
 type Node struct {
 	id  int
 	eng *core.Engine
 
 	mu       sync.RWMutex
-	datasets map[string]*core.Dataset // home subsets, by dataset name
+	datasets map[string]map[int]*core.Dataset // name → group → home subset
 }
 
 // NewNode creates a shard node with its own engine (decode cache, GPU
 // device, and object quarantine are all per-shard).
 func NewNode(id int, opts core.EngineOptions) *Node {
-	return &Node{id: id, eng: core.NewEngine(opts), datasets: make(map[string]*core.Dataset)}
+	return &Node{id: id, eng: core.NewEngine(opts), datasets: make(map[string]map[int]*core.Dataset)}
 }
 
 // ID returns the shard index.
@@ -37,10 +41,10 @@ func (n *Node) Engine() *core.Engine { return n.eng }
 // Close releases the node's engine resources.
 func (n *Node) Close() { n.eng.Close() }
 
-// AddDataset installs the home subset of a dataset. A nil or empty tileset
-// means no object of the dataset lives here; queries naming it return
-// empty results.
-func (n *Node) AddDataset(name string, ts *storage.Tileset) error {
+// AddDataset installs one home group's subset of a dataset. A nil or empty
+// tileset means no object of that group lives here; queries naming it
+// return empty results. Re-adding a (name, group) replaces the subset.
+func (n *Node) AddDataset(name string, group int, ts *storage.Tileset) error {
 	if ts == nil || !hasObjects(ts) {
 		return nil
 	}
@@ -49,7 +53,10 @@ func (n *Node) AddDataset(name string, ts *storage.Tileset) error {
 		return fmt.Errorf("shard %d: %w", n.id, err)
 	}
 	n.mu.Lock()
-	n.datasets[name] = d
+	if n.datasets[name] == nil {
+		n.datasets[name] = make(map[int]*core.Dataset)
+	}
+	n.datasets[name][group] = d
 	n.mu.Unlock()
 	return nil
 }
@@ -63,20 +70,21 @@ func hasObjects(ts *storage.Tileset) bool {
 	return false
 }
 
-func (n *Node) dataset(name string) *core.Dataset {
+func (n *Node) dataset(name string, group int) *core.Dataset {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
-	return n.datasets[name]
+	return n.datasets[name][group]
 }
 
-// Handle executes one request against the node's home objects. Join kinds
-// run home-targets × home-sources plus home-targets × loans and merge; the
-// loan set never contains home objects, so the two sub-joins partition the
-// candidate pairs. The context carries the per-attempt deadline the
-// coordinator derived from the request context; the engine honors it.
+// Handle executes one request against the requested group's home objects.
+// Join kinds run home-targets × home-sources plus home-targets × loans and
+// merge; the loan set never contains the group's home objects, so the two
+// sub-joins partition the candidate pairs. The context carries the
+// per-attempt deadline the coordinator derived from the request context;
+// the engine honors it.
 func (n *Node) Handle(ctx context.Context, req *Request) (*Response, error) {
 	start := time.Now()
-	target := n.dataset(req.Target)
+	target := n.dataset(req.Target, req.Group)
 	if target == nil {
 		// No home objects of the target dataset: an empty, well-formed
 		// answer (the coordinator marks such shards "skipped" when it can
@@ -106,7 +114,7 @@ func (n *Node) Handle(ctx context.Context, req *Request) (*Response, error) {
 // handleJoin runs the two sub-joins of a join request and merges them.
 func (n *Node) handleJoin(ctx context.Context, target *core.Dataset, req *Request, start time.Time) (*Response, error) {
 	sources := make([]*core.Dataset, 0, 2)
-	if home := n.dataset(req.Source); home != nil {
+	if home := n.dataset(req.Source, req.Group); home != nil {
 		sources = append(sources, home)
 	}
 	if len(req.Loans) > 0 {

@@ -4,25 +4,31 @@
 // sum of per-shard counters equals the coordinator's totals.
 //
 // Placement is by space-partition cuboid: an object whose cuboid index is c
-// lives on shard c mod N ("home" shard). A join query touches pairs that
-// straddle shards, so the coordinator computes, per shard, the set of
-// non-home source objects whose MBBs could pair with the shard's home
-// targets (the cross-shard candidate set, derived purely from the R-tree
-// MBB summaries it keeps for every dataset) and loans those objects to the
-// shard for the duration of the query. Each shard then evaluates
+// belongs to home group c mod N, and group g is stored on shards g, g+1,
+// …, (g+R−1) mod N for replication factor R (Options.Replicas; R = 1 is
+// the unreplicated tier of PR 6). A join query touches pairs that straddle
+// groups, so the coordinator computes, per group, the set of non-home
+// source objects whose MBBs could pair with the group's home targets (the
+// cross-group candidate set, derived purely from the R-tree MBB summaries
+// it keeps for every dataset) and loans those objects to the serving
+// replica for the duration of the query. Each replica then evaluates
 // home-targets × (home-sources ∪ loans) and the coordinator concatenates:
-// target sets are disjoint across shards and loan sets never contain home
-// objects, so no pair is produced twice and none is missed.
+// target sets are disjoint across groups and loan sets never contain the
+// group's home objects, so no pair is produced twice and none is missed —
+// on whichever replica the group is served.
 //
 // Robustness is the point of the tier: per-shard attempt deadlines derived
 // from the request context, bounded retries with jittered exponential
 // backoff for transport-class errors, optional hedged requests for
-// stragglers, and a per-shard circuit breaker (a quarantine.Breaker keyed
-// by shard index). A shard that is dead, timed out, or breaker-open does
-// not fail the query under core.Degrade: its home target objects are
-// reported in Stats.UncertainIDs/Uncertain and the query's certain answer
-// — sound by the PPVP guarantees independently of the missing shard — is
-// returned. See DESIGN.md §10.
+// stragglers, replica failover (a group whose primary is dead, timed out,
+// or breaker-open is retried on the next replica — identical data, so the
+// failed-over answer is byte-identical), and a per-shard circuit breaker
+// (a quarantine.Breaker keyed by physical shard index). Only when every
+// replica of a group is down does the query degrade under core.Degrade:
+// the group's home target objects are reported in
+// Stats.UncertainIDs/Uncertain and the query's certain answer — sound by
+// the PPVP guarantees independently of the missing group — is returned.
+// See DESIGN.md §10 and §13.
 package shard
 
 import (
@@ -49,6 +55,12 @@ type Request struct {
 	Kind   Kind   `json:"kind"`
 	Target string `json:"target"`
 	Source string `json:"source,omitempty"`
+
+	// Group is the home group whose target objects this request evaluates.
+	// A shard may hold replicas of several groups; the group selects which
+	// one, so a failed-over request on a replica produces exactly the
+	// primary's answer.
+	Group int `json:"group"`
 
 	// Dist is the within-distance threshold (KindWithin).
 	Dist float64 `json:"dist,omitempty"`

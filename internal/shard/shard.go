@@ -32,10 +32,25 @@ var ErrShardFailed = errors.New("shard: shard failed")
 // every relevant shard dead there is nothing sound to degrade to.
 var ErrAllShardsFailed = errors.New("shard: all shards failed")
 
+// ErrAttemptTimeout marks a per-attempt deadline expiry (Options.
+// AttemptTimeout) as opposed to the parent query deadline: the shard was
+// merely slow, so the attempt is retryable and the group may fail over to
+// a replica. A bare context.DeadlineExceeded — the query itself expiring —
+// is deliberately NOT retryable; see retryable.
+var ErrAttemptTimeout = errors.New("shard: attempt timed out")
+
 // Options tunes the coordinator.
 type Options struct {
 	// Shards is the number of shards (default 1).
 	Shards int
+	// Replicas is how many shards store each home group: group g lives on
+	// shards (g+k) mod Shards for k in [0, Replicas). Default 1 (no
+	// replication); clamped to Shards. With R > 1 the coordinator fails a
+	// group over to the next replica on transport errors, attempt
+	// timeouts, and open breakers, and only degrades when every replica is
+	// down — surviving-replica answers are byte-identical to the clean
+	// run.
+	Replicas int
 	// AttemptTimeout bounds each transport attempt, always as a child of
 	// the request context so a query deadline caps it (default 0 = only
 	// the request deadline applies).
@@ -63,6 +78,12 @@ func (o *Options) setDefaults() {
 	if o.Shards <= 0 {
 		o.Shards = 1
 	}
+	if o.Replicas <= 0 {
+		o.Replicas = 1
+	}
+	if o.Replicas > o.Shards {
+		o.Replicas = o.Shards
+	}
 	if o.Retries == 0 {
 		o.Retries = 2
 	} else if o.Retries < 0 {
@@ -82,10 +103,11 @@ func (o *Options) setDefaults() {
 // MBB summaries, loans, and degradation accounting) plus the placement.
 type dsEntry struct {
 	full *core.Dataset
-	// homeIDs[s] lists the object IDs homed on shard s, sorted.
+	// homeIDs[g] lists the object IDs of home group g, sorted. Group g's
+	// primary is shard g; its replicas are shards (g+k) mod Shards.
 	homeIDs [][]int64
-	// shardOf[id] is the home shard of object id (-1 for nil holes).
-	shardOf []int32
+	// groupOf[id] is the home group of object id (-1 for nil holes).
+	groupOf []int32
 }
 
 // Coordinator fans queries out over shards and merges the answers. It is
@@ -110,6 +132,16 @@ type Coordinator struct {
 	shardErrors     atomic.Int64
 	openSkips       atomic.Int64
 	degradedQueries atomic.Int64
+	failovers       atomic.Int64
+	failoverWins    atomic.Int64
+	probes          atomic.Int64
+	probeRecoveries atomic.Int64
+	probeFailures   atomic.Int64
+
+	// proberMu guards the prober lifecycle (StartProber/Close may race).
+	proberMu   sync.Mutex
+	proberStop chan struct{}
+	proberDone chan struct{}
 }
 
 // NewInProcess builds the single-binary sharded tier: opts.Shards nodes,
@@ -121,10 +153,20 @@ func NewInProcess(engOpts core.EngineOptions, opts Options) *Coordinator {
 	for i := range nodes {
 		nodes[i] = NewNode(i, engOpts)
 	}
+	c := NewWithTransport(NewInProc(nodes), opts)
+	c.nodes = nodes
+	return c
+}
+
+// NewWithTransport builds a coordinator over an externally managed
+// transport — the multi-process tier (an HTTPTransport over worker
+// processes) or a test double. The transport must implement
+// DatasetInstaller for AddDataset to work.
+func NewWithTransport(tr Transport, opts Options) *Coordinator {
+	opts.setDefaults()
 	return &Coordinator{
-		opts:  opts,
-		tr:    NewInProc(nodes),
-		nodes: nodes,
+		opts: opts,
+		tr:   tr,
 		breaker: quarantine.NewBreaker[int](quarantine.Options{
 			Threshold: opts.BreakerThreshold,
 			Cooldown:  opts.BreakerCooldown,
@@ -134,8 +176,10 @@ func NewInProcess(engOpts core.EngineOptions, opts Options) *Coordinator {
 	}
 }
 
-// Close releases every node's engine.
+// Close stops the health prober (if running) and releases every in-process
+// node's engine.
 func (c *Coordinator) Close() {
+	c.StopProber()
 	for _, n := range c.nodes {
 		n.Close()
 	}
@@ -144,50 +188,62 @@ func (c *Coordinator) Close() {
 // Shards returns the shard count.
 func (c *Coordinator) Shards() int { return c.opts.Shards }
 
+// Replicas returns the replication factor.
+func (c *Coordinator) Replicas() int { return c.opts.Replicas }
+
 // Nodes exposes the shard nodes (tests and statistics).
 func (c *Coordinator) Nodes() []*Node { return c.nodes }
 
 // Breaker exposes the per-shard health breaker.
 func (c *Coordinator) Breaker() *quarantine.Breaker[int] { return c.breaker }
 
+// DatasetInstaller is the transport capability AddDataset requires: it
+// ships one home group's objects to one shard. The in-process transport
+// installs by function call; the HTTP transport PUTs the compressed blobs
+// to the worker.
+type DatasetInstaller interface {
+	InstallDataset(ctx context.Context, shard int, name string, group int, grid storage.Grid, objs []*storage.Object) error
+}
+
 // AddDataset places a fully built dataset across the shards: each object's
-// home shard is its cuboid index mod Shards, so spatial neighbors land
-// together and per-shard tilesets keep their cache locality. The
-// coordinator retains the full dataset for loan computation; re-adding a
-// name replaces it.
+// home group is its cuboid index mod Shards, so spatial neighbors land
+// together and per-group tilesets keep their cache locality; group g is
+// installed on shards (g+k) mod Shards for k < Replicas. The coordinator
+// retains the full dataset for loan computation; re-adding a name
+// replaces it.
 func (c *Coordinator) AddDataset(d *core.Dataset) error {
-	if c.nodes == nil {
-		return errors.New("shard: AddDataset requires in-process nodes")
+	inst, ok := c.tr.(DatasetInstaller)
+	if !ok {
+		return errors.New("shard: AddDataset requires a transport that installs datasets")
 	}
 	n := c.opts.Shards
 	full := d.Tileset
 	entry := &dsEntry{
 		full:    d,
 		homeIDs: make([][]int64, n),
-		shardOf: make([]int32, len(full.Objects)),
+		groupOf: make([]int32, len(full.Objects)),
 	}
-	parts := make([]*storage.Tileset, n)
-	for s := range parts {
-		parts[s] = &storage.Tileset{
-			Grid:    full.Grid,
-			Objects: make([]*storage.Object, len(full.Objects)),
-			Tiles:   make(map[int][]*storage.Object),
-		}
-	}
+	parts := make([][]*storage.Object, n)
 	for id, o := range full.Objects {
 		if o == nil {
-			entry.shardOf[id] = -1
+			entry.groupOf[id] = -1
 			continue
 		}
-		s := o.Cuboid % n
-		entry.shardOf[id] = int32(s)
-		entry.homeIDs[s] = append(entry.homeIDs[s], o.ID)
-		parts[s].Objects[id] = o
-		parts[s].Tiles[o.Cuboid] = append(parts[s].Tiles[o.Cuboid], o)
+		g := o.Cuboid % n
+		entry.groupOf[id] = int32(g)
+		entry.homeIDs[g] = append(entry.homeIDs[g], o.ID)
+		parts[g] = append(parts[g], o)
 	}
-	for s, node := range c.nodes {
-		if err := node.AddDataset(d.Name, parts[s]); err != nil {
-			return err
+	ctx := context.Background()
+	for g := 0; g < n; g++ {
+		if len(parts[g]) == 0 {
+			continue
+		}
+		for k := 0; k < c.opts.Replicas; k++ {
+			s := (g + k) % n
+			if err := inst.InstallDataset(ctx, s, d.Name, g, full.Grid, parts[g]); err != nil {
+				return fmt.Errorf("shard: installing %q group %d on shard %d: %w", d.Name, g, s, err)
+			}
 		}
 	}
 	c.mu.Lock()
@@ -293,6 +349,7 @@ func (c *Coordinator) idQuery(ctx context.Context, proto *Request, name string) 
 			continue
 		}
 		r := *proto
+		r.Group = s
 		reqs[s] = &r
 	}
 	resps, st, err := c.scatter(ctx, tgt, name, proto.Kind, proto.Opts, reqs)
@@ -348,16 +405,16 @@ func (c *Coordinator) prepareJoin(kind Kind, target, source string, dist float64
 			continue
 		}
 		reqs[s] = &Request{
-			Kind: kind, Target: target, Source: source, Dist: dist, Opts: q,
+			Kind: kind, Target: target, Source: source, Group: s, Dist: dist, Opts: q,
 			Loans: c.loansFor(kind, tgt, src, s, dist, q.K),
 		}
 	}
 	return tgt, reqs, nil
 }
 
-// loansFor computes the cross-shard candidate set for shard s: every
-// source object not homed on s whose MBB summary could pair with one of
-// s's home targets under the query predicate. The computation runs
+// loansFor computes the cross-group candidate set for home group g: every
+// source object not homed in g whose MBB summary could pair with one of
+// g's home targets under the query predicate. The computation runs
 // entirely on the coordinator's R-tree — no shard is consulted — and is a
 // superset of the true cross-shard result pairs, so shipping exactly these
 // objects preserves completeness:
@@ -370,7 +427,11 @@ func (c *Coordinator) prepareJoin(kind Kind, target, source string, dist float64
 //     source of a target appears in that set: its MINDIST lower-bounds its
 //     true distance, which is at most the k-th smallest candidate MAXDIST
 //     — the traversal's retention threshold.
-func (c *Coordinator) loansFor(kind Kind, tgt, src *dsEntry, s int, dist float64, k int) []*storage.Object {
+//
+// Loans depend only on the group, not on which replica serves it, so a
+// failed-over request reuses the same loan set and produces the same
+// answer.
+func (c *Coordinator) loansFor(kind Kind, tgt, src *dsEntry, g int, dist float64, k int) []*storage.Object {
 	if kind == KindKNN && k <= 0 {
 		k = 1
 	}
@@ -379,8 +440,8 @@ func (c *Coordinator) loansFor(kind Kind, tgt, src *dsEntry, s int, dist float64
 	seen := make(map[int64]struct{})
 	var loans []*storage.Object
 	collect := func(id int64) {
-		if id < int64(len(src.shardOf)) && src.shardOf[id] == int32(s) {
-			return // home on this shard already
+		if id < int64(len(src.groupOf)) && src.groupOf[id] == int32(g) {
+			return // home in this group already
 		}
 		if _, dup := seen[id]; dup {
 			return
@@ -388,7 +449,7 @@ func (c *Coordinator) loansFor(kind Kind, tgt, src *dsEntry, s int, dist float64
 		seen[id] = struct{}{}
 		loans = append(loans, src.full.Tileset.Object(id))
 	}
-	for _, tid := range tgt.homeIDs[s] {
+	for _, tid := range tgt.homeIDs[g] {
 		o := tgt.full.Tileset.Object(tid)
 		switch kind {
 		case KindIntersect:
@@ -441,13 +502,13 @@ func (c *Coordinator) scatter(ctx context.Context, tgt *dsEntry, targetName stri
 	var wg sync.WaitGroup
 	for s := 0; s < n; s++ {
 		if reqs[s] == nil {
-			shardStats[s] = core.ShardStat{Shard: s, Status: "skipped"}
+			shardStats[s] = core.ShardStat{Shard: s, Status: "skipped", Replica: -1}
 			continue
 		}
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			resp, ss := c.callShard(ctx, s, reqs[s])
+			resp, ss := c.callGroup(ctx, s, reqs[s])
 			resps[s], shardStats[s] = resp, ss
 			if ss.Status != "ok" && q.OnError != core.Degrade {
 				cancel() // fail fast: abort the other shards promptly
@@ -522,20 +583,59 @@ func (c *Coordinator) degradeStats(tgt *dsEntry, targetName string, kind Kind, s
 	return st
 }
 
-// callShard runs one shard's request through the breaker, the retry loop,
-// and optional hedging.
-func (c *Coordinator) callShard(ctx context.Context, s int, req *Request) (resp *Response, ss core.ShardStat) {
-	ss = core.ShardStat{Shard: s}
+// callGroup serves one home group's request, walking its replica chain —
+// physical shards (g+k) mod Shards for k < Replicas — until a replica
+// answers. Each replica gets the full breaker/retry/hedge treatment of the
+// unreplicated tier; the chain advances past a replica whose breaker is
+// open or whose attempts exhausted on a transport-class error or attempt
+// timeout. Application errors and parent-context expiry stop the chain:
+// a replica holding identical data would fail identically, and a dead
+// query must not burn more attempts. ShardStat.Shard is the group index;
+// Replica records which link answered.
+func (c *Coordinator) callGroup(ctx context.Context, g int, req *Request) (resp *Response, ss core.ShardStat) {
+	ss = core.ShardStat{Shard: g, Replica: -1}
 	start := time.Now()
 	defer func() { ss.Elapsed = time.Since(start) }()
 
-	if !c.breaker.Allow(s) {
-		c.openSkips.Add(1)
+	var lastErr error
+	for k := 0; k < c.opts.Replicas; k++ {
+		s := (g + k) % c.opts.Shards
+		if !c.breaker.Allow(s) {
+			c.openSkips.Add(1)
+			continue
+		}
+		if k > 0 {
+			c.failovers.Add(1)
+		}
+		r, err := c.callReplica(ctx, s, req, &ss)
+		if err == nil {
+			ss.Status = "ok"
+			ss.Replica = k
+			ss.Stats = r.Stats
+			if k > 0 {
+				c.failoverWins.Add(1)
+			}
+			return r, ss
+		}
+		lastErr = err
+		if ctx.Err() != nil || !failoverEligible(err) {
+			break
+		}
+	}
+	if lastErr == nil {
+		// Every replica's breaker refused the call without a single attempt.
 		ss.Status = "open"
 		ss.Err = "circuit open"
 		return nil, ss
 	}
+	ss.Status = "error"
+	ss.Err = firstLine(lastErr.Error())
+	return nil, ss
+}
 
+// callReplica runs one physical shard's request through the retry loop and
+// optional hedging, maintaining the shard's breaker account.
+func (c *Coordinator) callReplica(ctx context.Context, s int, req *Request, ss *core.ShardStat) (*Response, error) {
 	backoff := c.opts.RetryBackoff
 	var lastErr error
 	for attempt := 0; ; attempt++ {
@@ -549,9 +649,7 @@ func (c *Coordinator) callShard(ctx context.Context, s int, req *Request) (resp 
 				c.hedgeWins.Add(1)
 			}
 			c.breaker.Success(s)
-			ss.Status = "ok"
-			ss.Stats = r.Stats
-			return r, ss
+			return r, nil
 		}
 		lastErr = err
 		if attempt >= c.opts.Retries || !retryable(ctx, err) {
@@ -573,9 +671,7 @@ func (c *Coordinator) callShard(ctx context.Context, s int, req *Request) (resp 
 		c.shardErrors.Add(1)
 		c.breaker.Failure(s, firstLine(lastErr.Error()))
 	}
-	ss.Status = "error"
-	ss.Err = firstLine(lastErr.Error())
-	return nil, ss
+	return nil, lastErr
 }
 
 // attempt runs one transport attempt, hedging it with a second concurrent
@@ -604,6 +700,13 @@ func (c *Coordinator) attempt(ctx context.Context, s int, req *Request) (resp *R
 		}
 		go func() {
 			r, e := c.tr.Send(actx, s, req)
+			// A deadline expiry that came from the attempt context while the
+			// parent is still alive is a per-attempt timeout: rebrand it so
+			// retry/failover classification can tell it apart from the query
+			// deadline expiring.
+			if e != nil && ctx.Err() == nil && actx.Err() != nil && errors.Is(e, context.DeadlineExceeded) {
+				e = fmt.Errorf("%w after %v: %v", ErrAttemptTimeout, c.opts.AttemptTimeout, e)
+			}
 			ch <- result{r, e, hedge}
 		}()
 		return cancel
@@ -648,13 +751,25 @@ func (c *Coordinator) attempt(ctx context.Context, s int, req *Request) (resp *R
 }
 
 // retryable classifies an attempt failure: transport-class errors and
-// attempt timeouts are transient (retry); application errors and request
-// cancellation are not.
+// per-attempt timeouts are transient (retry); application errors and
+// request cancellation are not. A bare context.DeadlineExceeded is the
+// query's own deadline expiring — retrying (or failing over) a dead query
+// would only burn attempts against its corpse, so it deliberately does not
+// qualify; only the ErrAttemptTimeout rebrand (attempt deadline fired while
+// the parent is alive) does.
 func retryable(ctx context.Context, err error) bool {
 	if ctx.Err() != nil {
 		return false
 	}
-	return errors.Is(err, ErrTransport) || errors.Is(err, context.DeadlineExceeded)
+	return errors.Is(err, ErrTransport) || errors.Is(err, ErrAttemptTimeout)
+}
+
+// failoverEligible reports whether a replica's exhausted attempts justify
+// advancing to the next replica: only transport-class failures and attempt
+// timeouts do. An application error would reproduce identically on a
+// replica holding the same data.
+func failoverEligible(err error) bool {
+	return errors.Is(err, ErrTransport) || errors.Is(err, ErrAttemptTimeout)
 }
 
 // jitter spreads a backoff uniformly over [d/2, 3d/2) so synchronized
@@ -718,8 +833,10 @@ func (c *Coordinator) Health() []ShardHealth {
 	}
 	c.mu.RLock()
 	for _, e := range c.datasets {
-		for s, ids := range e.homeIDs {
-			out[s].Objects += len(ids)
+		for g, ids := range e.homeIDs {
+			for k := 0; k < c.opts.Replicas; k++ {
+				out[(g+k)%c.opts.Shards].Objects += len(ids)
+			}
 		}
 	}
 	c.mu.RUnlock()
@@ -748,6 +865,16 @@ type Metrics struct {
 	// OpenSkips counts calls refused by an open breaker.
 	ShardErrors int64 `json:"shard_errors"`
 	OpenSkips   int64 `json:"open_skips"`
+	// Failovers counts replica-chain advances past a failed or breaker-open
+	// replica; FailoverWins the advances whose replica produced the answer.
+	Failovers    int64 `json:"failovers"`
+	FailoverWins int64 `json:"failover_wins"`
+	// Probes counts active health probes issued by the background prober;
+	// ProbeRecoveries the probes whose success released a shard's breaker;
+	// ProbeFailures the probes that failed.
+	Probes          int64 `json:"probes"`
+	ProbeRecoveries int64 `json:"probe_recoveries"`
+	ProbeFailures   int64 `json:"probe_failures"`
 }
 
 // Metrics returns the counter snapshot.
@@ -761,5 +888,10 @@ func (c *Coordinator) Metrics() Metrics {
 		HedgeWins:       c.hedgeWins.Load(),
 		ShardErrors:     c.shardErrors.Load(),
 		OpenSkips:       c.openSkips.Load(),
+		Failovers:       c.failovers.Load(),
+		FailoverWins:    c.failoverWins.Load(),
+		Probes:          c.probes.Load(),
+		ProbeRecoveries: c.probeRecoveries.Load(),
+		ProbeFailures:   c.probeFailures.Load(),
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"repro/internal/faultinject"
+	"repro/internal/storage"
 )
 
 // ErrTransport is the base error of transport-layer failures: the shard was
@@ -101,6 +102,55 @@ func (t *InProc) recv(shard int, resp *Response) (*Response, error) {
 		}
 	}
 	return resp, nil
+}
+
+// InstallDataset implements DatasetInstaller: the group's objects are
+// assembled into a tileset and installed on the node by function call.
+func (t *InProc) InstallDataset(ctx context.Context, shard int, name string, group int, grid storage.Grid, objs []*storage.Object) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if shard < 0 || shard >= len(t.nodes) {
+		return fmt.Errorf("%w: no shard %d", ErrTransport, shard)
+	}
+	return t.nodes[shard].AddDataset(name, group, tilesetFor(grid, objs))
+}
+
+// CheckHealth implements HealthChecker. The in-process node is alive by
+// construction, so health is the health of its "link": the send-side fault
+// points decide, which is how chaos tests keep a killed shard failing its
+// probes until the campaign revives it.
+func (t *InProc) CheckHealth(ctx context.Context, shard int) error {
+	if shard < 0 || shard >= len(t.nodes) {
+		return fmt.Errorf("%w: no shard %d", ErrTransport, shard)
+	}
+	for _, p := range []string{faultinject.PointShardSend, shardPoint(faultinject.PointShardSend, shard)} {
+		if err := faultinject.Fire(p); err != nil {
+			return fmt.Errorf("%w: probe of shard %d: %v", ErrTransport, shard, err)
+		}
+	}
+	return ctx.Err()
+}
+
+// tilesetFor rebuilds a by-ID tileset (nil holes included) from one group's
+// object list.
+func tilesetFor(grid storage.Grid, objs []*storage.Object) *storage.Tileset {
+	var maxID int64 = -1
+	for _, o := range objs {
+		if o.ID > maxID {
+			maxID = o.ID
+		}
+	}
+	ts := &storage.Tileset{
+		Grid:    grid,
+		Objects: make([]*storage.Object, maxID+1),
+		Tiles:   make(map[int][]*storage.Object),
+	}
+	for _, o := range objs {
+		ts.Objects[o.ID] = o
+		ts.Tiles[o.Cuboid] = append(ts.Tiles[o.Cuboid], o)
+	}
+	return ts
 }
 
 // shardPoint derives the shard-specific variant of a fault point.
