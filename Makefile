@@ -12,7 +12,7 @@ GOVULNCHECK_PKG ?= golang.org/x/vuln/cmd/govulncheck@v1.1.4
 # (bench.QuickConfig, seed 42), and the counts are pinned so reruns are
 # comparable. BENCHOUT is the committed artifact.
 BENCHCOUNT ?= 3
-BENCHOUT ?= BENCH_7.json
+BENCHOUT ?= BENCH_10.json
 # Extra label=file pairs merged into BENCHOUT (e.g. a saved baseline run).
 BENCHMERGE ?=
 # bench-smoke tolerance: one unwarmed iteration is noisy, so the gate only
@@ -95,12 +95,14 @@ ci: vet lint staticcheck govulncheck race fuzz-short chaos-short chaos-net bench
 # One short iteration of the same benchmarks, diffed against the committed
 # baseline via `benchjson -compare` with a generous threshold. This is a
 # tripwire for order-of-magnitude perf regressions and bench bit-rot, not a
-# substitute for `make bench`.
+# substitute for `make bench`. The Table 1 FPR cells run under SchedMargin
+# (the suite default), so the margin scheduler's full path — plan, jump,
+# online calibration — is exercised on every smoke run.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkTable1_Cell' -count=1 -benchtime=1x . | tee /tmp/bench_smoke_table1.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkDecode|BenchmarkCacheHit' -count=1 -benchtime=100x ./internal/cache | tee /tmp/bench_smoke_decode.txt
 	$(GO) run ./cmd/benchjson -o /tmp/bench_smoke.json table1=/tmp/bench_smoke_table1.txt decode=/tmp/bench_smoke_decode.txt
-	$(GO) run ./cmd/benchjson -compare -threshold $(SMOKE_THRESHOLD) BENCH_7.json /tmp/bench_smoke.json
+	$(GO) run ./cmd/benchjson -compare -threshold $(SMOKE_THRESHOLD) BENCH_10.json /tmp/bench_smoke.json
 
 # Run the FPR query benchmarks (Table 1 cells) and the decode/cache
 # micro-benchmarks, then fold the text output into $(BENCHOUT) as JSON.

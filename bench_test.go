@@ -49,7 +49,7 @@ func BenchmarkTable1_Cell(b *testing.B) {
 	for _, test := range bench.AllTests {
 		for _, paradigm := range []core.Paradigm{core.FR, core.FPR} {
 			b.Run(test.String()+"/"+paradigm.String(), func(b *testing.B) {
-				var warm, applied, skipped int64
+				var warm, applied, skipped, margin, bounds int64
 				for i := 0; i < b.N; i++ {
 					cell, err := s.RunCell(test, paradigm, core.BruteForce)
 					if err != nil {
@@ -58,11 +58,15 @@ func BenchmarkTable1_Cell(b *testing.B) {
 					warm += cell.Stats.WarmStarts
 					applied += cell.Stats.RoundsApplied
 					skipped += cell.Stats.RoundsSkipped
+					margin += cell.Stats.LODsSkippedByMargin
+					bounds += cell.Stats.BoundsDecisive
 				}
 				n := float64(b.N)
 				b.ReportMetric(float64(warm)/n, "warm_starts/op")
 				b.ReportMetric(float64(applied)/n, "rounds_applied/op")
 				b.ReportMetric(float64(skipped)/n, "rounds_skipped/op")
+				b.ReportMetric(float64(margin)/n, "lods_skipped_margin/op")
+				b.ReportMetric(float64(bounds)/n, "bounds_decisive/op")
 			})
 		}
 	}

@@ -12,6 +12,10 @@ type Stats struct {
 	Candidates int64
 	Results    int64 // want "Stats.Results is not handled in \\(\\*Stats\\).String"
 	NewCounter int64 // want "Stats.NewCounter is not handled in \\(\\*Stats\\).Merge"
+	// LODsSkipped mimics a margin-scheduler counter wired everywhere it
+	// must be (Merge, String, the server mirror): no diagnostics — the
+	// analyzer accepts a fully-handled new field.
+	LODsSkipped int64
 }
 
 // Merge forgets NewCounter — the Σ-invariant silently breaks.
@@ -21,11 +25,12 @@ func (s *Stats) Merge(other *Stats) {
 	}
 	s.Candidates += other.Candidates
 	s.Results += other.Results
+	s.LODsSkipped += other.LODsSkipped
 }
 
 // String forgets Results.
 func (s *Stats) String() string {
-	return fmt.Sprintf("candidates=%d new=%d", s.Candidates, s.NewCounter)
+	return fmt.Sprintf("candidates=%d new=%d skipped=%d", s.Candidates, s.NewCounter, s.LODsSkipped)
 }
 
 // collector carries the per-query attribution sink; Misses is never read

@@ -7,14 +7,16 @@ import (
 // statsJSON mirrors core.Stats. The mirror below forgets to assign
 // SkippedOut and never reads core.Stats.NewCounter.
 type statsJSON struct { // want "core.Stats.NewCounter is not serialized"
-	Candidates int64 `json:"candidates"`
-	Results    int64 `json:"results"`
-	SkippedOut int64 `json:"skipped"` // want "statsJSON.SkippedOut is never assigned"
+	Candidates  int64 `json:"candidates"`
+	Results     int64 `json:"results"`
+	SkippedOut  int64 `json:"skipped"` // want "statsJSON.SkippedOut is never assigned"
+	LODsSkipped int64 `json:"lods_skipped"`
 }
 
 func statsOut(st *core.Stats) statsJSON {
 	return statsJSON{
-		Candidates: st.Candidates,
-		Results:    st.Results,
+		Candidates:  st.Candidates,
+		Results:     st.Results,
+		LODsSkipped: st.LODsSkipped,
 	}
 }

@@ -98,6 +98,13 @@ type Suite struct {
 	// benchmark workload itself.
 	Exec core.Exec
 
+	// Sched selects the LOD scheduler RunCell uses. SchedMargin (the zero
+	// value, the engine default) lets the online calibrator derive each FPR
+	// cell's ladder; SchedStatic pins the paper's §4.4 reference rule, with
+	// the profiled per-test schedules applied exactly as before. The
+	// equivalence tests run both and require byte-identical results.
+	Sched core.Sched
+
 	NucleiA *core.Dataset
 	NucleiB *core.Dataset
 	Nuclei1 *core.Dataset

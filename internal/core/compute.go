@@ -65,6 +65,9 @@ type filterScratch struct {
 	seen map[int64]struct{}
 	ids  []int64
 	def  []int64
+	// dir collects the candidates the margin scheduler routes straight to
+	// the top LOD (planDirect in sched.go); always empty under SchedStatic.
+	dir []int64
 	// maxd is the KNN refinement's MAXDIST sort buffer (see kth in
 	// KNNJoin); reused across targets so the k-th-distance computation
 	// doesn't allocate per call.
@@ -80,6 +83,7 @@ func (f *filterScratch) reset() *filterScratch {
 	}
 	f.ids = f.ids[:0]
 	f.def = f.def[:0]
+	f.dir = f.dir[:0]
 	return f
 }
 

@@ -122,6 +122,34 @@ func (x Exec) String() string {
 	}
 }
 
+// Sched selects the LOD scheduling policy progressive refinement uses.
+type Sched int
+
+const (
+	// SchedMargin — the default — is the margin-governed scheduler: the LOD
+	// ladder is calibrated online from the engine's per-(kind, LOD) pruning
+	// histograms, and each candidate pair is routed by its own distance
+	// margin (derived from the MBB MINDIST/MAXDIST bounds the filter already
+	// computed): bound-decisive pairs go straight to their verdict with no
+	// decode at all, reject-leaning pairs jump directly to the top LOD, and
+	// accept-leaning pairs walk the ladder. Results are byte-identical to
+	// SchedStatic: accepts only ever happen on sound upper bounds and
+	// rejects only at the top LOD, so the final answer is independent of
+	// which intermediate LODs a pair visits.
+	SchedMargin Sched = iota
+	// SchedStatic is the paper's §4.4 reference semantics: every candidate
+	// rides the one query-wide ladder (QueryOptions.LODs, typically from a
+	// one-shot ProfileLODs run; every LOD when empty).
+	SchedStatic
+)
+
+func (s Sched) String() string {
+	if s == SchedStatic {
+		return "static"
+	}
+	return "margin"
+}
+
 // EngineOptions configures a query engine instance.
 type EngineOptions struct {
 	// CacheBytes is the decode cache budget (paper: 80 GB; default here
@@ -180,6 +208,7 @@ type Engine struct {
 	cache   *cache.Cache
 	dev     *gpusim.Device
 	quar    *quarantine.Registry
+	cal     *calibrator
 	nextSeq atomic.Int64
 }
 
@@ -194,6 +223,7 @@ func NewEngine(opts EngineOptions) *Engine {
 			Threshold: opts.QuarantineThreshold,
 			Cooldown:  opts.QuarantineCooldown,
 		}),
+		cal: newCalibrator(),
 	}
 }
 
@@ -240,10 +270,20 @@ type QueryOptions struct {
 	// Exec selects the refinement executor (pipelined batches vs per-pair)
 	// for IntersectJoin and WithinJoin. Defaults to the pipeline.
 	Exec Exec
+	// Sched selects the LOD scheduling policy: SchedMargin (the default)
+	// routes each candidate pair by its distance margin over an
+	// online-calibrated ladder; SchedStatic is the paper's static reference
+	// rule. Both produce byte-identical results.
+	Sched Sched
 }
 
 // usePipeline reports whether the batch pipeline executor should run.
 func (q *QueryOptions) usePipeline() bool { return q.Exec != ExecPerPair }
+
+// marginSched reports whether the per-pair margin scheduler is active: only
+// under FPR (FR is the decode-everything baseline and stays untouched as
+// reference semantics).
+func (q *QueryOptions) marginSched() bool { return q.Sched == SchedMargin && q.Paradigm == FPR }
 
 func (q *QueryOptions) workers(e *Engine) int {
 	if q.Workers > 0 {

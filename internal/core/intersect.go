@@ -26,7 +26,7 @@ func (e *Engine) IntersectJoin(ctx context.Context, target, source *Dataset, q Q
 	start := time.Now()
 	col := newCollector(source.maxLOD, q, start)
 	ec := newEvalCtx(e, q, col)
-	lods := q.lodSchedule(minInt(target.maxLOD, source.maxLOD), q.Paradigm)
+	lods := e.schedule(&q, minInt(target.maxLOD, source.maxLOD), IntersectKind)
 	tree := source.filterTree(q.Accel)
 	sink := newResultSink(q.workers(e))
 
@@ -63,9 +63,43 @@ func (e *Engine) IntersectJoin(ctx context.Context, target, source *Dataset, q Q
 		// overlap.
 		oMBB := target.Tileset.Object(o.ID).MBB()
 		remaining := candIDs
-		for _, lod := range lods {
+		var dir []int64
+		if q.marginSched() {
+			// Margin plan: barely-overlapping MBB pairs rarely intersect, and
+			// only the top LOD (plus the containment pass) can reject them —
+			// send them straight there and spend the intermediate decodes on
+			// the deeply-overlapping pairs a low LOD can settle early.
+			dir = sc.dir
+			keep := remaining[:0]
+			for _, id := range remaining {
+				so := source.Tileset.Object(id)
+				if so == nil {
+					keep = append(keep, id) // let decode surface the error
+					continue
+				}
+				if planIntersect(oMBB, so.MBB()) == planDirect {
+					col.skipLODs(len(lods) - 1)
+					dir = append(dir, id)
+					continue
+				}
+				keep = append(keep, id)
+			}
+			remaining = keep
+			sc.dir = dir
+		}
+		for li, lod := range lods {
+			last := li == len(lods)-1
+			if last && len(dir) > 0 {
+				// Direct-routed pairs join the walkers for the exact pass.
+				remaining = append(remaining, dir...)
+				sortIDs(remaining)
+				dir = dir[:0]
+			}
 			if len(remaining) == 0 {
-				break
+				if len(dir) == 0 {
+					break
+				}
+				continue
 			}
 			to, err := ec.decode(target, o.ID, lod)
 			if err != nil {
@@ -77,6 +111,7 @@ func (e *Engine) IntersectJoin(ctx context.Context, target, source *Dataset, q Q
 					return aerr
 				}
 				ec.deg.uncertainAll(w, o.ID, remaining)
+				ec.deg.uncertainAll(w, o.ID, dir)
 				return nil
 			}
 			next := remaining[:0]
@@ -146,7 +181,11 @@ func (e *Engine) IntersectJoin(ctx context.Context, target, source *Dataset, q Q
 		// exact cache attribution up to the failure point.
 		return nil, ec.finish(start), err
 	}
-	return sink.sorted(), ec.finish(start), nil
+	st := ec.finish(start)
+	if q.Paradigm == FPR {
+		e.cal.observe(IntersectKind, st)
+	}
+	return sink.sorted(), st, nil
 }
 
 func sortIDs(ids []int64) { slices.Sort(ids) }

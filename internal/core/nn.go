@@ -40,7 +40,7 @@ func (e *Engine) KNNJoin(ctx context.Context, target, source *Dataset, q QueryOp
 	start := time.Now()
 	col := newCollector(source.maxLOD, q, start)
 	ec := newEvalCtx(e, q, col)
-	lods := q.lodSchedule(minInt(target.maxLOD, source.maxLOD), q.Paradigm)
+	lods := e.schedule(&q, minInt(target.maxLOD, source.maxLOD), NNKind)
 	tree := source.filterTree(q.Accel)
 
 	// Per-worker neighbor buffers, merged after the run (no lock on the
@@ -73,7 +73,22 @@ func (e *Engine) KNNJoin(ctx context.Context, target, source *Dataset, q QueryOp
 		if len(cands) == 0 {
 			return nil
 		}
-		sort.Slice(cands, func(i, j int) bool { return cands[i].id < cands[j].id })
+		if q.marginSched() {
+			// Margin ordering: evaluate the most promising candidates (by
+			// MBB MINDIST) first so their measured distances tighten the
+			// MINMAXDIST threshold before the long-shot candidates come up —
+			// those then fall to the pre-decode prune and are never decoded.
+			// Order only shifts which LOD settles a pair, never the verdict.
+			sort.Slice(cands, func(i, j int) bool {
+				//lint:ignore floateq MBB bound tie-break; equality only routes to the deterministic ID order
+				if cands[i].minDist != cands[j].minDist {
+					return cands[i].minDist < cands[j].minDist
+				}
+				return cands[i].id < cands[j].id
+			})
+		} else {
+			sort.Slice(cands, func(i, j int) bool { return cands[i].id < cands[j].id })
+		}
 
 		// Degrade bookkeeping: candidates whose decode failed are parked
 		// here with their last known MINDIST (a lower bound of the true
@@ -88,18 +103,29 @@ func (e *Engine) KNNJoin(ctx context.Context, target, source *Dataset, q QueryOp
 		// smallest MAXDIST, until only k candidates survive or the highest
 		// LOD settles everything.
 		sc := &ec.scratch[w]
-		kth := func() float64 {
-			if len(cands) < q.K {
+		// kthOver returns the k-th smallest MAXDIST over the two candidate
+		// slices — a sound MINMAXDIST threshold: each MAXDIST upper-bounds
+		// its candidate's true distance, so at least k candidates lie within
+		// the k-th smallest of them, and anything whose MINDIST exceeds it is
+		// provably out of the top k. The two-slice form lets the eval pass
+		// pass disjoint views (kept so far + not yet visited) of its
+		// in-place-filtered array without double-counting a candidate.
+		kthOver := func(a, b []*nnCand) float64 {
+			if len(a)+len(b) < q.K {
 				return math.Inf(1)
 			}
 			maxd := sc.maxd[:0]
-			for _, c := range cands {
+			for _, c := range a {
+				maxd = append(maxd, c.maxDist)
+			}
+			for _, c := range b {
 				maxd = append(maxd, c.maxDist)
 			}
 			sort.Float64s(maxd)
 			sc.maxd = maxd
 			return maxd[q.K-1]
 		}
+		kth := func() float64 { return kthOver(cands, nil) }
 		minmax := kth()
 
 		// prevEvalLOD tracks the last LOD whose evaluations tightened
@@ -127,11 +153,15 @@ func (e *Engine) KNNJoin(ctx context.Context, target, source *Dataset, q QueryOp
 				break
 			}
 			kept := cands[:0]
-			for _, c := range cands {
+			for ci := 0; ci < len(cands); ci++ {
+				c := cands[ci]
 				// MINMAXDIST keeps decreasing; re-check before decoding.
 				// A candidate dropped here was settled by the previous
-				// LOD's refinement (or by the filter when none ran yet).
+				// LOD's refinement (or by the filter when none ran yet) —
+				// its decode at this LOD never happens, which is where the
+				// margin ordering's savings come from.
 				if c.minDist > minmax*(1+1e-12) {
+					col.boundsDecided()
 					if prevEvalLOD >= 0 {
 						col.settlePair(prevEvalLOD)
 					}
@@ -157,13 +187,19 @@ func (e *Engine) KNNJoin(ctx context.Context, target, source *Dataset, q QueryOp
 					c.maxDist = c.minDist
 					c.exact = true
 				}
-				// MINMAXDIST tightening inside the pass is only sound for
-				// k = 1: for larger k the threshold is the k-th smallest
-				// MAXDIST, recomputed between passes.
-				if q.K == 1 && c.maxDist < minmax {
+				kept = append(kept, c)
+				if q.marginSched() {
+					// In-pass tightening for any k: the live candidate set is
+					// exactly kept ∪ cands[ci+1:] (disjoint views of the
+					// in-place filter — the full cands slice would count a
+					// dropped slot twice and over-tighten unsoundly).
+					minmax = kthOver(kept, cands[ci+1:])
+				} else if q.K == 1 && c.maxDist < minmax {
+					// Static reference semantics: in-pass tightening only for
+					// k = 1; for larger k the threshold is recomputed between
+					// passes.
 					minmax = c.maxDist
 				}
-				kept = append(kept, c)
 			}
 			cands = kept
 			minmax = kth()
@@ -281,7 +317,11 @@ func (e *Engine) KNNJoin(ctx context.Context, target, source *Dataset, q QueryOp
 		}
 		return sink[i].Source < sink[j].Source
 	})
-	return sink, ec.finish(start), nil
+	st := ec.finish(start)
+	if q.Paradigm == FPR {
+		e.cal.observe(NNKind, st)
+	}
+	return sink, st, nil
 }
 
 func allExact(cands []*nnCand) bool {

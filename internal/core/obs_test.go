@@ -82,6 +82,81 @@ func TestConcurrentQueriesExactAttribution(t *testing.T) {
 	}
 }
 
+// TestConcurrentProfilingDoesNotPerturbAttribution pins the SampleCuboid
+// aliasing contract (see profile.go): the profiling sample is a shallow view
+// sharing the original's objects, indexes, and seq, so its decodes land in
+// the same cache entries live queries use — and per-query attribution must
+// still be exact. ProfileLODs runs concurrently with live joins and every
+// participant's cache counters (the profiling runs' included) must sum
+// exactly to the cache-wide delta.
+func TestConcurrentProfilingDoesNotPerturbAttribution(t *testing.T) {
+	e := testEngine(t)
+	a, b := buildNearMissPair(t, e, []float64{7.7, 8.5, 7.7, 8.5})
+	before := e.Cache().Stats()
+
+	const n = 8
+	stats := make([]*Stats, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%2 == 1 {
+				// Odd slots profile: same engine, same cache entries via the
+				// shallow sample view.
+				_, st, err := e.ProfileLODs(context.Background(), a, b, IntersectKind, 0,
+					QueryOptions{}, DefaultPruneThreshold)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				stats[i] = st
+				return
+			}
+			_, st, err := e.IntersectJoin(context.Background(), a, b, QueryOptions{Paradigm: FPR})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			stats[i] = st
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	delta := e.Cache().Stats().Sub(before)
+	var hits, misses, warm, applied, skipped int64
+	for _, st := range stats {
+		hits += st.CacheHits
+		misses += st.Decodes
+		warm += st.WarmStarts
+		applied += st.RoundsApplied
+		skipped += st.RoundsSkipped
+	}
+	if hits != delta.Hits {
+		t.Errorf("sum of per-run CacheHits = %d, cache delta = %d", hits, delta.Hits)
+	}
+	if misses != delta.Misses {
+		t.Errorf("sum of per-run Decodes = %d, cache Misses delta = %d", misses, delta.Misses)
+	}
+	if warm != delta.WarmStarts {
+		t.Errorf("sum of per-run WarmStarts = %d, cache delta = %d", warm, delta.WarmStarts)
+	}
+	if applied != delta.RoundsApplied {
+		t.Errorf("sum of per-run RoundsApplied = %d, cache delta = %d", applied, delta.RoundsApplied)
+	}
+	if skipped != delta.RoundsSkipped {
+		t.Errorf("sum of per-run RoundsSkipped = %d, cache delta = %d", skipped, delta.RoundsSkipped)
+	}
+	// Profiling must actually share cache entries with the live queries, or
+	// the exactness above proves nothing about the aliasing.
+	if delta.Hits == 0 {
+		t.Errorf("workload too weak: no shared cache activity, delta = %+v", delta)
+	}
+}
+
 // TestStatsOnCancellation: a query cancelled mid-flight must still hand back
 // its statistics — phase times and exact cache attribution up to the point
 // it stopped — alongside the error.

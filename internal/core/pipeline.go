@@ -52,6 +52,13 @@ const (
 	joinWithin
 )
 
+func (k joinKind) queryKind() QueryKind {
+	if k == joinWithin {
+		return WithinKind
+	}
+	return IntersectKind
+}
+
 // maxBatchTasks caps the pair tasks per submitted batch, bounding gather
 // latency and the memory pinned by an in-flight launch.
 const maxBatchTasks = 64
@@ -147,7 +154,7 @@ func (e *Engine) pipelinedJoin(ctx context.Context, kind joinKind, target, sourc
 	if ec.deg != nil {
 		ec.deg = newDegrader(gatherSlot+1, q.ErrorBudget)
 	}
-	lods := q.lodSchedule(minInt(target.maxLOD, source.maxLOD), q.Paradigm)
+	lods := e.schedule(&q, minInt(target.maxLOD, source.maxLOD), kind.queryKind())
 	ftree := source.filterTree(q.Accel)
 	sink := newResultSink(workers + 1)
 	gatherSink := workers // sink slot owned by the gather goroutine
@@ -169,16 +176,31 @@ func (e *Engine) pipelinedJoin(ctx context.Context, kind joinKind, target, sourc
 	// upper is the distance bound handed to the evaluators under joinWithin,
 	// matching the per-pair executor's call sites; upper2 seeds the SoA
 	// distance kernels (squared, inflated so a distance exactly equal to the
-	// bound is still found and returned exactly).
+	// bound is still found and returned exactly). Under margin scheduling a
+	// second, widened bound pair serves the ladder rungs from which a jump
+	// can still skip an entry (li two or more below the top): measured
+	// distances up to marginJumpFactor·dist stay exact there — the gather
+	// stage's jump signal (see sched.go) — while the final two rungs keep
+	// the narrow bound, since a deeper search would buy nothing. Accepts
+	// still require d ≤ dist under either bound, identical to the static
+	// path.
 	upper := math.Inf(1)
 	upper2 := math.Inf(1)
+	wideUpper, wideUpper2 := upper, upper2
 	if kind == joinWithin {
-		upper = dist * (1 + 1e-12)
-		upper2 = upper * upper * nextAfterFactor
-		if upper2 == 0 {
-			// dist == 0: keep the seed strictly above zero so touching
-			// pairs (true distance exactly 0) still beat the bound.
-			upper2 = math.SmallestNonzeroFloat64
+		seed := func(u float64) (float64, float64) {
+			u2 := u * u * nextAfterFactor
+			if u2 == 0 {
+				// dist == 0: keep the seed strictly above zero so touching
+				// pairs (true distance exactly 0) still beat the bound.
+				u2 = math.SmallestNonzeroFloat64
+			}
+			return u, u2
+		}
+		upper, upper2 = seed(dist * (1 + 1e-12))
+		wideUpper, wideUpper2 = upper, upper2
+		if q.marginSched() {
+			wideUpper, wideUpper2 = seed(dist * marginJumpFactor * (1 + 1e-12))
 		}
 	}
 
@@ -214,13 +236,43 @@ func (e *Engine) pipelinedJoin(ctx context.Context, kind joinKind, target, sourc
 			col.candidates.Add(int64(len(sc.def) + len(sc.ids)))
 			sortIDs(sc.def)
 			for _, id := range sc.def {
+				col.boundsDecided() // filter-phase MAXDIST acceptance, no decode
 				sink.add(w, Pair{Target: o.ID, Source: id})
 				col.results.Add(1)
 			}
 			sortIDs(sc.ids)
+			// Margin plan (sched.go): settle bounds-decisive pairs here in
+			// the feeder — they never enter the pipeline at all — and emit
+			// reject-leaning pairs at the top of the ladder instead of the
+			// bottom. Routing never changes a verdict, only where it is
+			// reached, so the pipeline stays result-equal to the per-pair
+			// reference under either scheduler.
+			margin := q.marginSched()
+			topLI := len(lods) - 1
+			tb := o.MBB()
 			for _, id := range sc.ids {
+				li := 0
+				if margin {
+					if so := source.Tileset.Object(id); so != nil {
+						if kind == joinWithin {
+							switch planWithin(tb, so.MBB(), dist) {
+							case planAccept:
+								col.boundsDecided()
+								sink.add(w, Pair{Target: o.ID, Source: id})
+								col.results.Add(1)
+								continue
+							case planReject:
+								col.boundsDecided()
+								continue
+							}
+						} else if planIntersect(tb, so.MBB()) == planDirect {
+							col.skipLODs(topLI)
+							li = topLI
+						}
+					}
+				}
 				outstanding.Add(1)
-				queue.push(&pairWork{t: o.ID, s: id})
+				queue.push(&pairWork{t: o.ID, s: id, li: li})
 			}
 			return nil
 		}, ec.deg.backstop(e, target))
@@ -282,7 +334,7 @@ func (e *Engine) pipelinedJoin(ctx context.Context, kind joinKind, target, sourc
 	go func() {
 		defer close(packDone)
 		defer stream.CloseSubmit()
-		ec.packLoop(ctx, kind, ready, stream, lods, upper, upper2)
+		ec.packLoop(ctx, kind, ready, stream, lods, upper, upper2, wideUpper, wideUpper2)
 	}()
 
 	// Stage 4 — gather: settle verdicts in submission order, requeueing
@@ -334,7 +386,11 @@ func (e *Engine) pipelinedJoin(ctx context.Context, kind joinKind, target, sourc
 	if firstErr != nil {
 		return nil, ec.finish(start), firstErr
 	}
-	return sink.sorted(), ec.finish(start), nil
+	st := ec.finish(start)
+	if q.Paradigm == FPR {
+		e.cal.observe(kind.queryKind(), st)
+	}
+	return sink.sorted(), st, nil
 }
 
 // filterIntersect is the IntersectJoin filtering step, verbatim from the
@@ -421,7 +477,7 @@ func (c *evalCtx) decodePair(target, source *Dataset, w *pairWork, lod, slot int
 // packLoop drains ready into batches and submits them. Counting evalPair at
 // pack time mirrors the per-pair executor, which counts immediately before
 // each evaluation.
-func (c *evalCtx) packLoop(ctx context.Context, kind joinKind, ready <-chan *pairWork, stream *gpusim.Stream, lods []int, upper, upper2 float64) {
+func (c *evalCtx) packLoop(ctx context.Context, kind joinKind, ready <-chan *pairWork, stream *gpusim.Stream, lods []int, upper, upper2, wideUpper, wideUpper2 float64) {
 	buf := taskBufPool.Get().(*[]gpusim.PairTask)
 	batch := (*buf)[:0]
 	var batchPairs int64
@@ -448,7 +504,12 @@ func (c *evalCtx) packLoop(ctx context.Context, kind joinKind, ready <-chan *pai
 		}
 		c.col.evalPair(lods[w.li])
 		batchPairs += int64(w.to.mesh.NumFaces()) * int64(w.so.mesh.NumFaces())
-		batch = append(batch, c.makeTask(kind, w, upper, upper2))
+		// Widened bound only where a jump can still skip a ladder entry.
+		u, u2 := upper, upper2
+		if w.li < len(lods)-2 {
+			u, u2 = wideUpper, wideUpper2
+		}
+		batch = append(batch, c.makeTask(kind, w, u, u2))
 		if len(batch) >= maxBatchTasks {
 			flush()
 		}
@@ -541,6 +602,28 @@ func (c *evalCtx) gatherOne(kind joinKind, target, source *Dataset, task *gpusim
 		if last {
 			c.col.settlePair(lod) // settled by rejection at top LOD
 			return false, nil
+		}
+		if c.opts.marginSched() && w.li < len(lods)-2 {
+			// Margin jump (sched.go): an untouched SoA seed means the true
+			// distance exceeds the widened bound; host verdicts carry the
+			// plain distance. Either way the pair measured over
+			// marginJumpFactor·dist — overwhelmingly a reject — and requeues
+			// at the top LOD instead of the next ladder entry. (At the rung
+			// just below the top the pack stage kept the narrow bound and a
+			// jump would skip nothing, so the pair simply walks.)
+			jump := false
+			if task.Kind == gpusim.PairMinDist {
+				jump = v.D2 >= task.Upper2 || math.Sqrt(v.D2) > dist*marginJumpFactor
+			} else {
+				jump = v.D2 > dist*marginJumpFactor
+			}
+			if jump {
+				topLI := len(lods) - 1
+				c.col.skipLODs(topLI - w.li - 1)
+				w.li = topLI
+				w.to, w.so = obj{}, obj{}
+				return true, nil
+			}
 		}
 		w.li++
 		w.to, w.so = obj{}, obj{}

@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"sort"
 
 	"repro/internal/storage"
 )
@@ -37,6 +36,18 @@ const DefaultPruneThreshold = 0.25
 // populated cuboid — the paper's §6.5 profiling sample. The view shares the
 // indexes and objects of the original, so queries against it behave as if
 // only those targets were asked about.
+//
+// Aliasing contract: the view is shallow on purpose. It shares the original
+// Tileset's object map, compressed payloads, R-trees, and skeletons — only
+// the Tiles map is replaced with the single-cuboid restriction — and it
+// keeps the dataset's seq, so profiling decodes hit the same engine cache
+// entries as live queries (that sharing is what makes the profile cheap and
+// representative). Both views must be treated as read-only; this is safe
+// concurrently because queries never mutate dataset state, and per-query
+// statistics stay exact because every query attributes cache activity
+// through its own private counter sink (collector.cacheCtrs), never by
+// diffing shared counters. obs_test.go pins that profiling alongside live
+// queries does not perturb their counters.
 func (d *Dataset) SampleCuboid() *Dataset {
 	best, bestN := -1, -1
 	for c, objs := range d.Tileset.Tiles {
@@ -67,6 +78,11 @@ func (e *Engine) ProfileLODs(ctx context.Context, target, source *Dataset, kind 
 	pq := q
 	pq.Paradigm = FPR
 	pq.LODs = nil // visit every LOD
+	// Profile under the static schedule: margin routing sends reject-leaning
+	// pairs straight to the top LOD, which would zero out the intermediate
+	// LODs' evaluation counts and bias the measured pruned fractions — the
+	// profile must measure the paper's quantity.
+	pq.Sched = SchedStatic
 
 	var (
 		stats *Stats
@@ -86,14 +102,25 @@ func (e *Engine) ProfileLODs(ctx context.Context, target, source *Dataset, kind 
 		return nil, nil, err
 	}
 
-	maxLOD := minInt(target.maxLOD, source.maxLOD)
+	return selectLODs(stats, minInt(target.maxLOD, source.maxLOD), threshold), stats, nil
+}
+
+// selectLODs applies the §4.4 rule to a profiled run's statistics: keep
+// every LOD below maxLOD whose pruned fraction strictly exceeds threshold
+// (the rule is "more than 1/r² of the pairs settle", so a fraction exactly
+// at the threshold does not qualify), plus the highest LOD, ascending.
+// LODs that evaluated zero pairs are skipped explicitly: PrunedFraction
+// reports 0 for them, and an unevaluated LOD carries no evidence that
+// refining there pays off.
+func selectLODs(stats *Stats, maxLOD int, threshold float64) []int {
 	var lods []int
 	for l := 0; l < maxLOD; l++ {
-		if stats.PrunedFraction(l) >= threshold {
+		if l >= len(stats.PairsEvaluated) || stats.PairsEvaluated[l] == 0 {
+			continue
+		}
+		if stats.PrunedFraction(l) > threshold {
 			lods = append(lods, l)
 		}
 	}
-	lods = append(lods, maxLOD)
-	sort.Ints(lods)
-	return lods, stats, nil
+	return append(lods, maxLOD)
 }

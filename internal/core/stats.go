@@ -50,6 +50,19 @@ type Stats struct {
 	PairsEvaluated []int64
 	PairsPruned    []int64
 
+	// Margin-scheduler counters (see internal/core/sched.go).
+	// LODsSkippedByMargin counts ladder entries the margin plan skipped
+	// outright — a reject-leaning pair routed straight to the top LOD skips
+	// len(ladder)−1 of them; always zero under SchedStatic. BoundsDecisive
+	// counts pairs settled by MINDIST/MAXDIST bounds alone, with no decode
+	// at the deciding step: the within filter's whole-subtree definite
+	// acceptances, margin-plan accept/reject verdicts, and NN candidates
+	// pruned before their decode by the shrinking MINMAXDIST threshold
+	// (the filter acceptances and NN prunes also occur — and are counted —
+	// under SchedStatic, where the same bounds drive §4.2 and Alg. 3).
+	LODsSkippedByMargin int64
+	BoundsDecisive      int64
+
 	// Partial-failure accounting, populated only under the Degrade error
 	// policy. The returned pairs are the certain answer (settled by the
 	// PPVP guarantees independently of any failed object); Uncertain lists
@@ -154,6 +167,8 @@ func (s *Stats) Merge(other *Stats) {
 	s.DecodeFailures += other.DecodeFailures
 	s.BatchesDispatched += other.BatchesDispatched
 	s.BatchPairs += other.BatchPairs
+	s.LODsSkippedByMargin += other.LODsSkippedByMargin
+	s.BoundsDecisive += other.BoundsDecisive
 	if n := len(other.PairsEvaluated); n > len(s.PairsEvaluated) {
 		s.PairsEvaluated = append(s.PairsEvaluated, make([]int64, n-len(s.PairsEvaluated))...)
 	}
@@ -193,6 +208,9 @@ func (s *Stats) String() string {
 	if s.BatchesDispatched > 0 {
 		fmt.Fprintf(&b, " batches=%d batchPairs=%d", s.BatchesDispatched, s.BatchPairs)
 	}
+	if s.LODsSkippedByMargin > 0 || s.BoundsDecisive > 0 {
+		fmt.Fprintf(&b, " marginSkips=%d boundsDecisive=%d", s.LODsSkippedByMargin, s.BoundsDecisive)
+	}
 	if len(s.Degraded) > 0 || len(s.Uncertain) > 0 || len(s.UncertainIDs) > 0 || s.QuarantineSkips > 0 || s.DecodeFailures > 0 {
 		fmt.Fprintf(&b, " degraded=%d uncertain=%d quarantineSkips=%d decodeRetries=%d decodeFailures=%d",
 			len(s.Degraded), len(s.Uncertain)+len(s.UncertainIDs), s.QuarantineSkips, s.DecodeRetries, s.DecodeFailures)
@@ -224,6 +242,8 @@ type collector struct {
 	decodeRetries   atomic.Int64
 	batches         atomic.Int64
 	batchPairs      atomic.Int64
+	lodsSkipped     atomic.Int64
+	boundsDecisive  atomic.Int64
 	evaluated       []atomic.Int64
 	pruned          []atomic.Int64
 
@@ -305,27 +325,39 @@ func (c *collector) settlePair(lod int) {
 	c.tr.Count("settle", lod, 1)
 }
 
+// skipLODs counts n ladder entries the margin plan skipped for one pair.
+func (c *collector) skipLODs(n int) {
+	if n > 0 {
+		c.lodsSkipped.Add(int64(n))
+	}
+}
+
+// boundsDecided counts one pair settled by filter-phase bounds alone.
+func (c *collector) boundsDecided() { c.boundsDecisive.Add(1) }
+
 func (c *collector) snapshot(elapsed time.Duration) *Stats {
 	s := &Stats{
-		Elapsed:           elapsed,
-		FilterTime:        time.Duration(c.filterNs.Load()),
-		DecodeTime:        time.Duration(c.decodeNs.Load()),
-		GeomTime:          time.Duration(c.geomNs.Load()),
-		Candidates:        c.candidates.Load(),
-		Results:           c.results.Load(),
-		Decodes:           c.decodes.Load(),
-		CacheHits:         c.cacheHits.Load(),
-		QuarantineSkips:   c.quarantineSkips.Load(),
-		DecodeRetries:     c.decodeRetries.Load(),
-		BatchesDispatched: c.batches.Load(),
-		BatchPairs:        c.batchPairs.Load(),
-		WarmStarts:        c.cacheCtrs.WarmStarts.Load(),
-		RoundsApplied:     c.cacheCtrs.RoundsApplied.Load(),
-		RoundsSkipped:     c.cacheCtrs.RoundsSkipped.Load(),
-		DecodeFailures:    c.cacheCtrs.DecodeFailures.Load(),
-		PairsEvaluated:    make([]int64, len(c.evaluated)),
-		PairsPruned:       make([]int64, len(c.pruned)),
-		Trace:             c.tr.Events(),
+		Elapsed:             elapsed,
+		FilterTime:          time.Duration(c.filterNs.Load()),
+		DecodeTime:          time.Duration(c.decodeNs.Load()),
+		GeomTime:            time.Duration(c.geomNs.Load()),
+		Candidates:          c.candidates.Load(),
+		Results:             c.results.Load(),
+		Decodes:             c.decodes.Load(),
+		CacheHits:           c.cacheHits.Load(),
+		QuarantineSkips:     c.quarantineSkips.Load(),
+		DecodeRetries:       c.decodeRetries.Load(),
+		BatchesDispatched:   c.batches.Load(),
+		BatchPairs:          c.batchPairs.Load(),
+		LODsSkippedByMargin: c.lodsSkipped.Load(),
+		BoundsDecisive:      c.boundsDecisive.Load(),
+		WarmStarts:          c.cacheCtrs.WarmStarts.Load(),
+		RoundsApplied:       c.cacheCtrs.RoundsApplied.Load(),
+		RoundsSkipped:       c.cacheCtrs.RoundsSkipped.Load(),
+		DecodeFailures:      c.cacheCtrs.DecodeFailures.Load(),
+		PairsEvaluated:      make([]int64, len(c.evaluated)),
+		PairsPruned:         make([]int64, len(c.pruned)),
+		Trace:               c.tr.Events(),
 	}
 	for i := range c.evaluated {
 		s.PairsEvaluated[i] = c.evaluated[i].Load()

@@ -27,7 +27,7 @@ func (e *Engine) WithinJoin(ctx context.Context, target, source *Dataset, dist f
 	start := time.Now()
 	col := newCollector(source.maxLOD, q, start)
 	ec := newEvalCtx(e, q, col)
-	lods := q.lodSchedule(minInt(target.maxLOD, source.maxLOD), q.Paradigm)
+	lods := e.schedule(&q, minInt(target.maxLOD, source.maxLOD), WithinKind)
 	tree := source.filterTree(q.Accel)
 	sink := newResultSink(q.workers(e))
 
@@ -63,17 +63,57 @@ func (e *Engine) WithinJoin(ctx context.Context, target, source *Dataset, dist f
 		// Whole-subtree acceptances need no geometry at all.
 		sortIDs(sc.def)
 		for _, id := range sc.def {
+			col.boundsDecided()
 			sink.add(w, Pair{Target: o.ID, Source: id})
 			col.results.Add(1)
 		}
 
 		remaining := sc.ids
 		sortIDs(remaining)
-		for li, lod := range lods {
-			if len(remaining) == 0 {
-				break
+		margin := q.marginSched()
+		var dir []int64
+		if margin {
+			// Margin plan: settle bounds-decisive pairs with no decode at
+			// all; the rest walk the ladder, with reject-leaning pairs
+			// detected mid-ladder from their measured distance and jumped
+			// to the top LOD (see sched.go). Routing never changes a
+			// verdict, only where it is reached.
+			tb := o.MBB()
+			dir = sc.dir
+			keep := remaining[:0]
+			for _, id := range remaining {
+				so := source.Tileset.Object(id)
+				if so == nil {
+					keep = append(keep, id) // let decode surface the error
+					continue
+				}
+				switch planWithin(tb, so.MBB(), dist) {
+				case planAccept:
+					col.boundsDecided()
+					sink.add(w, Pair{Target: o.ID, Source: id})
+					col.results.Add(1)
+				case planReject:
+					col.boundsDecided()
+				default:
+					keep = append(keep, id)
+				}
 			}
+			remaining = keep
+		}
+		for li, lod := range lods {
 			last := li == len(lods)-1
+			if last && len(dir) > 0 {
+				// Direct-routed pairs join the walkers for the exact pass.
+				remaining = append(remaining, dir...)
+				sortIDs(remaining)
+				dir = dir[:0]
+			}
+			if len(remaining) == 0 {
+				if len(dir) == 0 {
+					break
+				}
+				continue
+			}
 			to, err := ec.decode(target, o.ID, lod)
 			if err != nil {
 				// Degrade: low-LOD acceptances (including the MBB-proven
@@ -83,7 +123,19 @@ func (e *Engine) WithinJoin(ctx context.Context, target, source *Dataset, dist f
 					return aerr
 				}
 				ec.deg.uncertainAll(w, o.ID, remaining)
+				ec.deg.uncertainAll(w, o.ID, dir)
 				return nil
+			}
+			// Under margin scheduling the search bound is widened so a
+			// measured distance up to marginJumpFactor·dist is exact — the
+			// jump signal; accepts still require d ≤ dist. Widening only
+			// pays when a jump can actually skip a ladder entry (li two or
+			// more below the top); at the final two rungs the deeper search
+			// would buy nothing.
+			canJump := margin && li < len(lods)-2
+			upper := dist
+			if canJump {
+				upper = dist * marginJumpFactor
 			}
 			next := remaining[:0]
 			for _, id := range remaining {
@@ -97,7 +149,7 @@ func (e *Engine) WithinJoin(ctx context.Context, target, source *Dataset, dist f
 					continue
 				}
 				col.evalPair(lod)
-				d := ec.minDist(to, so, dist*(1+1e-12))
+				d := ec.minDist(to, so, upper*(1+1e-12))
 				if d <= dist {
 					col.settlePair(lod)
 					sink.add(w, Pair{Target: o.ID, Source: id})
@@ -106,6 +158,15 @@ func (e *Engine) WithinJoin(ctx context.Context, target, source *Dataset, dist f
 				}
 				if last {
 					col.settlePair(lod) // settled by rejection at top LOD
+					continue
+				}
+				if canJump && d > dist*marginJumpFactor {
+					// Still over twice the budget after this LOD's shrink:
+					// overwhelmingly a reject, which only the top LOD can
+					// decide — skip the intermediate ladder entries.
+					col.skipLODs(len(lods) - 2 - li)
+					dir = append(dir, id)
+					sc.dir = dir
 					continue
 				}
 				next = append(next, id)
@@ -117,7 +178,11 @@ func (e *Engine) WithinJoin(ctx context.Context, target, source *Dataset, dist f
 	if err != nil {
 		return nil, ec.finish(start), err
 	}
-	return sink.sorted(), ec.finish(start), nil
+	st := ec.finish(start)
+	if q.Paradigm == FPR {
+		e.cal.observe(WithinKind, st)
+	}
+	return sink.sorted(), st, nil
 }
 
 // Dist is a convenience exact distance between two stored objects at the

@@ -155,6 +155,11 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 			"stats":   s.eng.Quarantine().Stats(),
 			"entries": entries,
 		}
+		// The margin scheduler's online calibration state: one entry per
+		// observed (kind, LOD) with its pruned-fraction EWMA and histogram
+		// summary, so operators can see which ladder the next margin query
+		// of each kind will get.
+		out["sched"] = s.eng.SchedCalibration()
 	}
 
 	if s.coord != nil {

@@ -359,6 +359,10 @@ type queryRequest struct {
 	// Trace requests the per-query span timeline; the aggregated events
 	// come back in the response's stats.trace.
 	Trace bool `json:"trace"`
+	// Sched selects the LOD scheduling policy: "margin" (default) for the
+	// online-calibrated margin scheduler, "static" for the paper's §4.4
+	// reference rule. Both return byte-identical results.
+	Sched string `json:"sched"`
 }
 
 func (s *Server) parseJoin(r *http.Request) (*core.Dataset, *core.Dataset, core.QueryOptions, queryRequest, error) {
@@ -409,6 +413,13 @@ func options(req queryRequest) (core.QueryOptions, error) {
 	default:
 		return q, badRequest("unknown on_error %q (want fail_fast or degrade)", req.OnError)
 	}
+	switch req.Sched {
+	case "", "margin":
+	case "static":
+		q.Sched = core.SchedStatic
+	default:
+		return q, badRequest("unknown sched %q (want margin or static)", req.Sched)
+	}
 	q.ErrorBudget = req.ErrorBudget
 	q.Trace = req.Trace
 	return q, nil
@@ -432,10 +443,15 @@ type statsJSON struct {
 	RoundsSkipped int64 `json:"rounds_skipped"`
 	// Batch-pipeline counters: device batches the refine stage dispatched
 	// and the face pairs those batches spanned (0 under ExecPerPair).
-	BatchesDispatched int64   `json:"batches_dispatched"`
-	BatchPairs        int64   `json:"batch_pairs"`
-	Evaluated         []int64 `json:"pairs_evaluated_per_lod"`
-	Pruned            []int64 `json:"pairs_pruned_per_lod"`
+	BatchesDispatched int64 `json:"batches_dispatched"`
+	BatchPairs        int64 `json:"batch_pairs"`
+	// Margin-scheduler counters: ladder entries skipped by margin routing
+	// and pairs settled by filter-phase bounds alone (both 0 under
+	// sched=static, except bounds-driven NN prunes which count always).
+	LODsSkippedByMargin int64   `json:"lods_skipped_by_margin"`
+	BoundsDecisive      int64   `json:"bounds_decisive"`
+	Evaluated           []int64 `json:"pairs_evaluated_per_lod"`
+	Pruned              []int64 `json:"pairs_pruned_per_lod"`
 	// Partial-failure accounting (degrade policy). The response's pairs are
 	// the certain answer; uncertain lists relations a failure left
 	// unsettled (source -1 = unknown candidate set of that target) and
@@ -495,28 +511,30 @@ func statsOut(st *core.Stats) statsJSON {
 
 func baseStatsOut(st *core.Stats) statsJSON {
 	return statsJSON{
-		ElapsedMS:         float64(st.Elapsed) / float64(time.Millisecond),
-		FilterMS:          float64(st.FilterTime) / float64(time.Millisecond),
-		DecodeMS:          float64(st.DecodeTime) / float64(time.Millisecond),
-		GeomMS:            float64(st.GeomTime) / float64(time.Millisecond),
-		Candidates:        st.Candidates,
-		Results:           st.Results,
-		Decodes:           st.Decodes,
-		CacheHits:         st.CacheHits,
-		WarmStarts:        st.WarmStarts,
-		RoundsApplied:     st.RoundsApplied,
-		RoundsSkipped:     st.RoundsSkipped,
-		BatchesDispatched: st.BatchesDispatched,
-		BatchPairs:        st.BatchPairs,
-		Evaluated:         st.PairsEvaluated,
-		Pruned:            st.PairsPruned,
-		Uncertain:         st.Uncertain,
-		UncertainIDs:      st.UncertainIDs,
-		Degraded:          st.Degraded,
-		QuarantineSkips:   st.QuarantineSkips,
-		DecodeRetries:     st.DecodeRetries,
-		DecodeFailures:    st.DecodeFailures,
-		Trace:             st.Trace,
+		ElapsedMS:           float64(st.Elapsed) / float64(time.Millisecond),
+		FilterMS:            float64(st.FilterTime) / float64(time.Millisecond),
+		DecodeMS:            float64(st.DecodeTime) / float64(time.Millisecond),
+		GeomMS:              float64(st.GeomTime) / float64(time.Millisecond),
+		Candidates:          st.Candidates,
+		Results:             st.Results,
+		Decodes:             st.Decodes,
+		CacheHits:           st.CacheHits,
+		WarmStarts:          st.WarmStarts,
+		RoundsApplied:       st.RoundsApplied,
+		RoundsSkipped:       st.RoundsSkipped,
+		BatchesDispatched:   st.BatchesDispatched,
+		BatchPairs:          st.BatchPairs,
+		LODsSkippedByMargin: st.LODsSkippedByMargin,
+		BoundsDecisive:      st.BoundsDecisive,
+		Evaluated:           st.PairsEvaluated,
+		Pruned:              st.PairsPruned,
+		Uncertain:           st.Uncertain,
+		UncertainIDs:        st.UncertainIDs,
+		Degraded:            st.Degraded,
+		QuarantineSkips:     st.QuarantineSkips,
+		DecodeRetries:       st.DecodeRetries,
+		DecodeFailures:      st.DecodeFailures,
+		Trace:               st.Trace,
 	}
 }
 

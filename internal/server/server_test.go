@@ -250,6 +250,40 @@ func TestRangeAndPointEndpoints(t *testing.T) {
 	}
 }
 
+// TestSchedOptionAndStats: the sched request option selects the LOD
+// scheduler, both spellings answer identically, and the response stats
+// carry the margin counters.
+func TestSchedOptionAndStats(t *testing.T) {
+	ts := testServer(t)
+
+	type out struct {
+		Pairs []core.Pair    `json:"pairs"`
+		Stats map[string]any `json:"stats"`
+	}
+	var static, margin out
+	resp := postJSON(t, ts.URL+"/query/within",
+		`{"target":"alpha","source":"beta","dist":25,"paradigm":"fpr","sched":"static"}`, &static)
+	if resp.StatusCode != 200 {
+		t.Fatalf("static status %d", resp.StatusCode)
+	}
+	resp = postJSON(t, ts.URL+"/query/within",
+		`{"target":"alpha","source":"beta","dist":25,"paradigm":"fpr","sched":"margin"}`, &margin)
+	if resp.StatusCode != 200 {
+		t.Fatalf("margin status %d", resp.StatusCode)
+	}
+	if fmt.Sprint(margin.Pairs) != fmt.Sprint(static.Pairs) {
+		t.Errorf("margin pairs %v != static pairs %v", margin.Pairs, static.Pairs)
+	}
+	for _, key := range []string{"lods_skipped_by_margin", "bounds_decisive"} {
+		if _, ok := margin.Stats[key]; !ok {
+			t.Errorf("stats missing %q: %v", key, margin.Stats)
+		}
+	}
+	if static.Stats["lods_skipped_by_margin"].(float64) != 0 {
+		t.Errorf("static run reported margin skips: %v", static.Stats)
+	}
+}
+
 func TestQueryErrors(t *testing.T) {
 	ts := testServer(t)
 	cases := []struct {
@@ -261,6 +295,7 @@ func TestQueryErrors(t *testing.T) {
 		{"/query/nn", `not json`, 400},
 		{"/query/nn", `{"target":"alpha","source":"beta","paradigm":"magic"}`, 400},
 		{"/query/nn", `{"target":"alpha","source":"beta","accel":"quantum"}`, 400},
+		{"/query/nn", `{"target":"alpha","source":"beta","sched":"psychic"}`, 400},
 		{"/query/within", `{"target":"alpha","source":"beta"}`, 400}, // no dist
 		{"/query/range", `{"dataset":"alpha","min":[5,5,5],"max":[1,1,1]}`, 400},
 		{"/query/range", `{"dataset":"nope","min":[0,0,0],"max":[1,1,1]}`, 404},
